@@ -1,0 +1,31 @@
+# Convenience targets for the TerraDir reproduction.
+#
+#   make install      editable install (offline-friendly)
+#   make test         full unit/integration/property suite
+#   make bench        every figure/table benchmark (shape assertions)
+#   make experiments  print every figure's data (REPRO_SCALE=tiny|small|paper)
+#   make figures      render every figure as SVG into figures/
+#   make outputs      the canonical test_output.txt / bench_output.txt pair
+
+PYTHON ?= python
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner
+
+figures:
+	$(PYTHON) -m repro.viz.figures --out figures
+
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+.PHONY: install test bench experiments figures outputs

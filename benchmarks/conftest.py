@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark runs a full scaled-down experiment exactly once
+(``benchmark.pedantic(..., rounds=1, iterations=1)``) -- the quantity
+being benchmarked is a whole simulation campaign, not a microsecond
+kernel -- and then asserts the paper's qualitative shapes on the
+result.  Select the campaign size with ``REPRO_SCALE``
+(tiny | small | paper; default tiny).
+"""
+
+import pytest
+
+from repro.experiments.common import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn(**kwargs)`` once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

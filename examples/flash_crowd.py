@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Flash crowd: a sudden, extreme hot-spot and how replication absorbs it.
+
+Scenario: a P2P directory serves a software archive.  At t=8s a release
+announcement makes one deep subtree extremely popular (Zipf 1.5 over a
+fresh random ranking).  We run the same scenario twice -- with and
+without the adaptive replication protocol -- and compare drops, the
+paper's Fig. 3/Fig. 5 story in miniature.
+
+    python examples/flash_crowd.py
+"""
+
+from repro import (
+    SystemConfig,
+    WorkloadDriver,
+    balanced_tree,
+    build_system,
+)
+from repro.experiments.report import sparkline
+from repro.workload.streams import StreamSegment, WorkloadSpec
+
+
+def run(replication: bool):
+    ns = balanced_tree(levels=10)
+    if replication:
+        cfg = SystemConfig.replicated(
+            n_servers=32, seed=3, cache_slots=12, digest_probe_limit=1
+        )
+    else:
+        cfg = SystemConfig.caching(n_servers=32, seed=3, cache_slots=12)
+    system = build_system(ns, cfg)
+    rate = 0.4 * cfg.n_servers / (0.005 * 3.5)
+    spec = WorkloadSpec(
+        rate=rate,
+        segments=(
+            StreamSegment(8.0, alpha=0.0),                  # normal traffic
+            StreamSegment(12.0, alpha=1.5, reshuffle=True),  # flash crowd!
+        ),
+        seed=99,
+        name="flash-crowd",
+    )
+    WorkloadDriver(system, spec).run()
+    return system, spec
+
+
+def main() -> None:
+    for label, repl in (("caching only (BC)", False),
+                        ("adaptive replication (BCR)", True)):
+        system, spec = run(repl)
+        n = int(spec.duration) + 1
+        drops = system.stats.drops.totals(n)
+        print(f"=== {label} ===")
+        print(f"  drops/s   {sparkline(drops)}")
+        print(f"  dropped   {system.stats.n_dropped} of "
+              f"{system.stats.n_injected} "
+              f"({100 * system.stats.drop_fraction:.2f}%)")
+        print(f"  replicas  {system.stats.n_replicas_created} created")
+        crowd_drops = sum(drops[8:])
+        print(f"  drops during the crowd: {crowd_drops:.0f}\n")
+    print("The replicated system sheds the hot subtree onto idle servers\n"
+          "within a couple of load windows; the cache-only system keeps\n"
+          "funnelling the crowd into the hot nodes' owners.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""``python -m repro`` -- run the experiment suite (see experiments.runner)."""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,99 @@
+"""Load-balance fairness and adaptation-speed metrics.
+
+The paper's first fairness criterion is the *utilisation distribution*
+(section 4.3) and its adaptation claims are about how fast drop/load
+spikes decay after a popularity change (section 4.2).  This module
+quantifies both:
+
+* :func:`jain_index` -- the classic fairness index in [1/n, 1];
+* :func:`load_imbalance` -- max/mean load ratio;
+* :func:`spike_recovery_times` -- per disturbance, how long a series
+  stays above a threshold before settling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly balanced; ``1/n`` means one server carries
+    everything.  Zero-load populations return 1.0 (trivially fair).
+    """
+    n = len(values)
+    if n == 0:
+        raise ValueError("need at least one value")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    sq = sum(v * v for v in values)
+    return (total * total) / (n * sq)
+
+
+def load_imbalance(values: Sequence[float]) -> float:
+    """Max-to-mean ratio (1.0 = perfectly balanced)."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("need at least one value")
+    mean = sum(values) / n
+    if mean == 0:
+        return 1.0
+    return max(values) / mean
+
+
+def spike_recovery_times(
+    series: Sequence[float],
+    events: Sequence[float],
+    threshold: float,
+    bin_width: float = 1.0,
+) -> List[Optional[float]]:
+    """For each disturbance instant, how long the series stayed above
+    ``threshold`` afterwards (the paper's "spikes decay within seconds").
+
+    Args:
+        series: per-bin values (e.g. drops per second).
+        events: disturbance times (e.g. popularity reshuffles).
+        threshold: the "recovered" level.
+        bin_width: seconds per series bin.
+
+    Returns:
+        One entry per event: seconds from the event until the series
+        first returns to <= threshold (and the *next* bin is also at or
+        below it, to skip single-bin dips), or None if it never
+        recovers within the series.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    out: List[Optional[float]] = []
+    n = len(series)
+    for ev in events:
+        start = int(ev / bin_width)
+        if start >= n:
+            out.append(None)
+            continue
+        recovered = None
+        for i in range(start, n):
+            if series[i] <= threshold and (
+                i + 1 >= n or series[i + 1] <= threshold
+            ):
+                recovered = (i - start) * bin_width
+                break
+        out.append(recovered)
+    return out
+
+
+def utilization_fairness(system) -> dict:
+    """Summary fairness numbers for a finished run."""
+    means = system.stats.loads.means()
+    maxima = system.stats.loads.maxima()
+    steady = [m for m in means if m > 0]
+    return {
+        "jain_of_mean_series": jain_index(steady) if steady else 1.0,
+        "peak_imbalance": (
+            max(M / m for m, M in zip(means, maxima) if m > 0)
+            if any(m > 0 for m in means)
+            else 1.0
+        ),
+    }

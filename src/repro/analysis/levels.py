@@ -1,0 +1,40 @@
+"""Per-namespace-level replica aggregation (paper Fig. 7)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.system import System
+
+
+def replicas_per_level(system: System, average: bool = True) -> List[float]:
+    """Replicas created per tree level, optionally averaged per node.
+
+    Fig. 7 plots, for each level of N_S, the *average number of
+    replicas created for nodes on that level*: total creations at the
+    level divided by the node count of the level.
+    """
+    sizes = system.ns.level_sizes()
+    created = system.stats.level_replicas
+    out: List[float] = []
+    for level, total in enumerate(created):
+        n = sizes[level] if level < len(sizes) else 0
+        if average:
+            out.append(total / n if n else 0.0)
+        else:
+            out.append(float(total))
+    return out
+
+
+def current_replicas_per_level(system: System, average: bool = True) -> List[float]:
+    """Replicas *currently hosted* per level (creations minus evictions
+    observable on the live system)."""
+    sizes = system.ns.level_sizes()
+    counts = [0] * (system.ns.max_depth + 1)
+    depth = system.ns.depth
+    for p in system.peers:
+        for v in p.replicas:
+            counts[depth[v]] += 1
+    if not average:
+        return [float(c) for c in counts]
+    return [c / sizes[lvl] if sizes[lvl] else 0.0 for lvl, c in enumerate(counts)]

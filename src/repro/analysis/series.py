@@ -1,0 +1,67 @@
+"""Time-series shaping for the paper's per-second / per-minute plots."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.system import System
+
+
+def rate_series(system: System, which: str, n_bins: Optional[int] = None) -> List[float]:
+    """Per-second counts for one of the system's event series.
+
+    Args:
+        which: "drops", "injected", "completions", "replicas_created",
+            or "replicas_evicted".
+    """
+    series = {
+        "drops": system.stats.drops,
+        "injected": system.stats.injected,
+        "completions": system.stats.completions,
+        "replicas_created": system.stats.replicas_created,
+        "replicas_evicted": system.stats.replicas_evicted,
+    }[which]
+    if n_bins is None:
+        n_bins = int(system.engine.now) + 1
+    return series.totals(n_bins)
+
+
+def drop_fraction_series(
+    system: System, rate: float, n_bins: Optional[int] = None
+) -> List[float]:
+    """Fraction of queries dropped each second *relative to the
+    insertion rate* -- the exact y-axis of the paper's Fig. 3."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    return [d / rate for d in rate_series(system, "drops", n_bins)]
+
+
+def replica_fraction_series(
+    system: System, rate: float, n_bins: Optional[int] = None
+) -> List[float]:
+    """Replicas created per second relative to the insertion rate
+    (the y-axis of the paper's Fig. 4)."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    return [r / rate for r in rate_series(system, "replicas_created", n_bins)]
+
+
+def minute_buckets(per_second: Sequence[float], seconds_per_bucket: int = 60) -> List[float]:
+    """Aggregate a per-second series into coarser buckets (Fig. 8's
+    per-minute replica creation counts)."""
+    if seconds_per_bucket < 1:
+        raise ValueError("seconds_per_bucket must be >= 1")
+    out: List[float] = []
+    for i in range(0, len(per_second), seconds_per_bucket):
+        out.append(sum(per_second[i : i + seconds_per_bucket]))
+    return out
+
+
+def load_series(system: System, n_bins: Optional[int] = None):
+    """(mean, max) per-second server-load series (Fig. 6 left)."""
+    if n_bins is None:
+        n_bins = int(system.engine.now) + 1
+    return (
+        system.stats.loads.means(n_bins),
+        system.stats.loads.maxima(n_bins),
+    )

@@ -1,0 +1,117 @@
+"""Client-visible result types and a minimal simulation future."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class Future:
+    """Completion placeholder for an asynchronous client operation.
+
+    The simulation is single-threaded, so this is just a slot the
+    message handlers fill in; ``TerraDirClient.wait`` advances the
+    engine until it resolves (or the deadline passes).
+    """
+
+    __slots__ = ("done", "value", "error", "_callbacks")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.value = None
+        self.error: Optional[str] = None
+        self._callbacks: List[Callable] = []
+
+    def resolve(self, value) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.value = value
+        for cb in self._callbacks:
+            cb(self)
+
+    def fail(self, error: str) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.error = error
+        for cb in self._callbacks:
+            cb(self)
+
+    def on_done(self, cb: Callable) -> None:
+        if self.done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    @property
+    def ok(self) -> bool:
+        return self.done and self.error is None
+
+
+class LookupResult:
+    """What a lookup returns (paper section 2.1): the node's name, its
+    meta-data version, and a mapping of servers hosting the node."""
+
+    __slots__ = ("node", "name", "servers", "meta_version", "latency", "hops")
+
+    def __init__(
+        self,
+        node: int,
+        name: str,
+        servers: List[int],
+        meta_version: int,
+        latency: float,
+        hops: int,
+    ) -> None:
+        self.node = node
+        self.name = name
+        self.servers = servers
+        self.meta_version = meta_version
+        self.latency = latency
+        self.hops = hops
+
+    def __repr__(self) -> str:
+        return (
+            f"LookupResult({self.name!r}, servers={self.servers}, "
+            f"v{self.meta_version}, {self.hops} hops)"
+        )
+
+
+class RetrievalResult:
+    """Outcome of the two-step access: lookup plus data retrieval."""
+
+    __slots__ = ("node", "name", "data", "meta", "served_by", "attempts",
+                 "lookup")
+
+    def __init__(
+        self,
+        node: int,
+        name: str,
+        data,
+        meta,
+        served_by: int,
+        attempts: int,
+        lookup: LookupResult,
+    ) -> None:
+        self.node = node
+        self.name = name
+        self.data = data
+        self.meta = meta
+        self.served_by = served_by
+        self.attempts = attempts
+        self.lookup = lookup
+
+
+class SearchResult:
+    """Aggregated outcome of a hierarchically decomposed search."""
+
+    __slots__ = ("root", "matches", "resolved", "failed")
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.matches: List[str] = []
+        self.resolved: Dict[str, LookupResult] = {}
+        self.failed: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self.matches)

@@ -1,0 +1,115 @@
+"""System assembly: nodes to servers, neighbor wiring, digests, bootstrap.
+
+The paper's methodology maps both namespaces uniformly at random onto
+the participating servers; every server then pins a map for each
+neighbor of each node it owns (its routing contexts), seeds its own
+digest with its owned nodes, and learns the loads of a few random peers
+so replication has somewhere to start before in-band dissemination
+takes over.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from repro.cluster.config import SystemConfig
+from repro.cluster.system import System
+from repro.filters.digest import Digest, DigestDirectory
+from repro.namespace.generators import assign_nodes_to_servers
+from repro.namespace.tree import Namespace
+from repro.server.peer import Peer
+from repro.sim.engine import Engine
+
+
+def build_system(
+    ns: Namespace,
+    cfg: SystemConfig,
+    owner: Optional[Sequence[int]] = None,
+    engine: Optional[Engine] = None,
+) -> System:
+    """Wire a complete simulated system.
+
+    Args:
+        ns: the namespace tree.
+        cfg: all protocol/simulation knobs.
+        owner: optional explicit node-to-server assignment; defaults to
+            the uniform random balanced partition of the paper.
+        engine: optional externally owned event engine.
+
+    Raises:
+        ValueError: when there are more servers than nodes (every
+            server must own at least one node for routing progress).
+    """
+    if cfg.n_servers > len(ns):
+        raise ValueError(
+            f"n_servers ({cfg.n_servers}) exceeds node count ({len(ns)}); "
+            "every server must own at least one node"
+        )
+    if owner is None:
+        owner_list = assign_nodes_to_servers(ns, cfg.n_servers, seed=cfg.seed)
+    else:
+        owner_list = list(owner)
+        if len(owner_list) != len(ns):
+            raise ValueError("owner assignment length must equal node count")
+        if any(not 0 <= o < cfg.n_servers for o in owner_list):
+            raise ValueError("owner ids out of range")
+
+    engine = engine or Engine()
+    system = System(ns, cfg, engine, owner_list)
+
+    # shared Bloom geometry for all digests: capacity sized to the
+    # worst-case hosted set (owned + replica allowance), so snapshots
+    # are cross-evaluable and the FP rate holds under replication.
+    per_server = max(1, math.ceil(len(ns) / cfg.n_servers))
+    digest_capacity = max(16, math.ceil(per_server * (1.0 + max(cfg.rfact, 1.0))))
+
+    owned_by: List[List[int]] = [[] for _ in range(cfg.n_servers)]
+    for node, srv in enumerate(owner_list):
+        owned_by[srv].append(node)
+
+    shared_pos_cache = None
+    for sid in range(cfg.n_servers):
+        peer = Peer(sid, system, owned=())
+        peer.digest = Digest(
+            digest_capacity, fp_rate=cfg.digest_fp_rate, owner_server=sid
+        )
+        # all digests share geometry; share the hash-position cache so
+        # each node id is hashed once per process, not once per filter
+        if shared_pos_cache is None:
+            shared_pos_cache = peer.digest.bloom.pos_cache
+        else:
+            peer.digest.bloom.pos_cache = shared_pos_cache
+        peer.digest_dir = DigestDirectory(
+            peer.digest, max_peers=cfg.digest_dir_max
+        )
+        system.peers.append(peer)
+        system.transport.register(sid, peer.deliver)
+
+    # ownership and routing contexts
+    for sid, peer in enumerate(system.peers):
+        for node in owned_by[sid]:
+            peer.adopt_node(node)
+        for node in owned_by[sid]:
+            for nbr in ns.neighbors(node):
+                peer.pin(nbr, (owner_list[nbr],))
+
+    # heterogeneity: mark a fraction of servers slow (locally
+    # normalized load metric absorbs the difference, section 3.1)
+    if cfg.slow_server_fraction > 0.0 and cfg.slow_factor > 1.0:
+        het_rng = random.Random(cfg.seed ^ 0x51095109)
+        n_slow = int(round(cfg.slow_server_fraction * cfg.n_servers))
+        for sid in het_rng.sample(range(cfg.n_servers), n_slow):
+            system.peers[sid].service_mean = cfg.service_mean * cfg.slow_factor
+
+    # bootstrap load knowledge: a few random peers, believed idle
+    if cfg.bootstrap_known_peers > 0 and cfg.n_servers > 1:
+        boot_rng = random.Random(cfg.seed ^ 0x5EED0B00)
+        k = min(cfg.bootstrap_known_peers, cfg.n_servers - 1)
+        for peer in system.peers:
+            others = [s for s in range(cfg.n_servers) if s != peer.sid]
+            for s in boot_rng.sample(others, k):
+                peer.known_loads[s] = (0.0, 0.0)
+
+    return system

@@ -1,0 +1,294 @@
+"""The assembled simulated TerraDir system.
+
+:class:`System` owns the engine, transport, namespace, peers, and the
+:class:`SystemStats` collector every component reports into.  It also
+drives periodic maintenance (load-window rolls, ranking rescales, load
+sampling, idle-replica eviction) as a single global process to keep
+event-heap pressure low.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.config import SystemConfig
+from repro.namespace.tree import Namespace
+from repro.net.transport import Transport
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.stats import LatencyStats, TimeSeries
+
+
+class SystemStats:
+    """All metrics the paper's evaluation section reports.
+
+    Time series use 1-second bins to match the paper's per-second plots.
+    """
+
+    __slots__ = (
+        "injected",
+        "drops",
+        "completions",
+        "replicas_created",
+        "replicas_evicted",
+        "loads",
+        "latency",
+        "n_injected",
+        "n_completed",
+        "n_dropped",
+        "drop_reasons",
+        "n_stale_hops",
+        "hops_sum",
+        "route_sources",
+        "level_replicas",
+        "level_evictions",
+    )
+
+    def __init__(self, max_depth: int) -> None:
+        self.injected = TimeSeries()
+        self.drops = TimeSeries()
+        self.completions = TimeSeries()
+        self.replicas_created = TimeSeries()
+        self.replicas_evicted = TimeSeries()
+        self.loads = TimeSeries()
+        self.latency = LatencyStats()
+        self.n_injected = 0
+        self.n_completed = 0
+        self.n_dropped = 0
+        self.drop_reasons: Dict[str, int] = {}
+        self.n_stale_hops = 0
+        self.hops_sum = 0
+        self.route_sources: Dict[str, int] = {}
+        self.level_replicas = [0] * (max_depth + 1)
+        self.level_evictions = [0] * (max_depth + 1)
+
+    # -- recording hooks (called from peers) -----------------------------
+
+    def record_injected(self, now: float) -> None:
+        self.n_injected += 1
+        self.injected.add(now)
+
+    def record_drop(self, now: float, reason: str = "queue") -> None:
+        self.n_dropped += 1
+        self.drops.add(now)
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+    def record_completion(
+        self, now: float, latency: float, hops: int, stale_hops: int
+    ) -> None:
+        self.n_completed += 1
+        self.completions.add(now)
+        self.latency.record(latency)
+        self.hops_sum += hops
+
+    def record_forward(self, source: str) -> None:
+        self.route_sources[source] = self.route_sources.get(source, 0) + 1
+
+    def record_stale_hop(self, now: float) -> None:
+        self.n_stale_hops += 1
+
+    def record_replica_created(self, now: float, level: int) -> None:
+        self.replicas_created.add(now)
+        self.level_replicas[level] += 1
+
+    def record_replica_evicted(self, now: float, level: int) -> None:
+        self.replicas_evicted.add(now)
+        self.level_evictions[level] += 1
+
+    def sample_load(self, now: float, load: float) -> None:
+        self.loads.observe(now, load)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.n_dropped / self.n_injected if self.n_injected else 0.0
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.n_completed / self.n_injected if self.n_injected else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.hops_sum / self.n_completed if self.n_completed else 0.0
+
+    @property
+    def n_replicas_created(self) -> int:
+        return sum(self.level_replicas)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline aggregates (handy for tables/tests)."""
+        return {
+            "injected": float(self.n_injected),
+            "completed": float(self.n_completed),
+            "dropped": float(self.n_dropped),
+            "drop_fraction": self.drop_fraction,
+            "mean_latency": self.latency.mean,
+            "mean_hops": self.mean_hops,
+            "replicas_created": float(self.n_replicas_created),
+            "stale_hops": float(self.n_stale_hops),
+        }
+
+
+class System:
+    """A fully wired simulated TerraDir deployment.
+
+    Build one with :func:`repro.cluster.builder.build_system`; drive it
+    with a workload (:mod:`repro.workload`) and :meth:`run_until`.
+    """
+
+    __slots__ = (
+        "ns",
+        "cfg",
+        "engine",
+        "transport",
+        "stats",
+        "rng_streams",
+        "peers",
+        "owner",
+        "_qid",
+        "_maintenance_scheduled",
+        "on_inject",
+    )
+
+    def __init__(
+        self,
+        ns: Namespace,
+        cfg: SystemConfig,
+        engine: Engine,
+        owner: List[int],
+    ) -> None:
+        self.ns = ns
+        self.cfg = cfg
+        self.engine = engine
+        self.transport = Transport(
+            engine, cfg.net_delay, net_jitter=cfg.net_jitter,
+            jitter_seed=cfg.seed,
+        )
+        self.stats = SystemStats(ns.max_depth)
+        self.rng_streams = RngStreams(cfg.seed)
+        self.peers: List = []
+        self.owner = owner
+        self._qid = 0
+        self._maintenance_scheduled = False
+        self.on_inject = None  # optional (now, src, dest) tap for tracing
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+
+    def inject(self, src_server: int, dest_node: int) -> int:
+        """Initiate a lookup for ``dest_node`` at ``src_server``."""
+        self._qid += 1
+        if self.on_inject is not None:
+            self.on_inject(self.engine.now, src_server, dest_node)
+        self.peers[src_server].inject(dest_node, self._qid)
+        return self._qid
+
+    def lookup_name(self, src_server: int, name: str) -> int:
+        """Inject a lookup by fully-qualified name."""
+        return self.inject(src_server, self.ns.id_of(name))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def start_maintenance(self) -> None:
+        """Schedule the recurring maintenance tick (idempotent)."""
+        if self._maintenance_scheduled:
+            return
+        self._maintenance_scheduled = True
+        self.engine.schedule_after(self.cfg.load_window, self._tick_windows)
+        self.engine.schedule_after(
+            self.cfg.rank_rescale_interval, self._tick_ranking
+        )
+        if self.cfg.replica_idle_timeout > 0:
+            self.engine.schedule_after(
+                self.cfg.replica_idle_timeout, self._tick_idle_eviction
+            )
+
+    def _tick_windows(self) -> None:
+        now = self.engine.now
+        sample = (
+            self.cfg.sample_loads_every > 0
+            and int(now / self.cfg.load_window)
+            % max(1, int(round(self.cfg.sample_loads_every / self.cfg.load_window)))
+            == 0
+        )
+        stats = self.stats
+        for peer in self.peers:
+            if peer.failed:
+                continue
+            load = peer.roll_window(now)
+            if sample:
+                stats.sample_load(now, load)
+        self.engine.schedule_after(self.cfg.load_window, self._tick_windows)
+
+    def _tick_ranking(self) -> None:
+        for peer in self.peers:
+            peer.rescale_ranking()
+        self.engine.schedule_after(
+            self.cfg.rank_rescale_interval, self._tick_ranking
+        )
+
+    def _tick_idle_eviction(self) -> None:
+        now = self.engine.now
+        for peer in self.peers:
+            peer.evict_idle_replicas(now)
+        self.engine.schedule_after(
+            self.cfg.replica_idle_timeout, self._tick_idle_eviction
+        )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def run_until(self, t: float, progress_every: float = 0.0) -> None:
+        """Advance the simulation clock to ``t``.
+
+        Args:
+            progress_every: print a one-line progress report every this
+                many simulated seconds (0 disables) -- handy for
+                paper-scale runs that take minutes of wall time.
+        """
+        self.start_maintenance()
+        if progress_every <= 0:
+            self.engine.run(until=t)
+            return
+        next_mark = self.engine.now + progress_every
+        while self.engine.now < t:
+            self.engine.run(until=min(next_mark, t))
+            if self.engine.now >= next_mark:
+                s = self.stats
+                print(
+                    f"[t={self.engine.now:8.1f}s] injected={s.n_injected} "
+                    f"completed={s.n_completed} dropped={s.n_dropped} "
+                    f"replicas={s.n_replicas_created}",
+                    flush=True,
+                )
+                next_mark += progress_every
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def total_replicas(self) -> int:
+        """Replicas currently hosted across all servers."""
+        return sum(len(p.replicas) for p in self.peers)
+
+    def loads(self, now: Optional[float] = None) -> List[float]:
+        t = self.engine.now if now is None else now
+        return [p.meter.load(t) for p in self.peers]
+
+    def hosted_counts(self) -> List[int]:
+        return [p.n_hosted for p in self.peers]
+
+    def hosts_of(self, node: int) -> List[int]:
+        """Ground truth: every server currently hosting ``node``."""
+        return [p.sid for p in self.peers if p.hosts(node)]
+
+    def __repr__(self) -> str:
+        return (
+            f"System(servers={len(self.peers)}, nodes={len(self.ns)}, "
+            f"t={self.engine.now:.2f})"
+        )

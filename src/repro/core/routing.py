@@ -1,0 +1,328 @@
+"""Hierarchical routing with replicas, caches, and digest shortcuts.
+
+The routing procedure is a greedy minimiser over namespace distance
+(paper sections 2.2, 3.6.1): a server routing a query for node ``t``
+always forwards toward the closest node to ``t`` that it knows about.
+The candidates, in the order we evaluate them:
+
+1. **Resolution** -- the server hosts ``t`` (owns or replicates it).
+2. **Direct map** -- the server has a map for ``t`` itself (``t`` is a
+   neighbor of a hosted node, or sits in the cache): distance 0.
+3. **Structural** -- the neighbor-toward-``t`` of the closest hosted
+   node ``h*``.  Because every hosted node carries its full context,
+   this candidate always exists and has distance ``d(h*, t) - 1``,
+   which is exactly the best achievable from hosted state alone; it is
+   what guarantees incremental progress.
+4. **Cache scan** -- any cached node may be closer (path propagation
+   deliberately caches a mixture of near and far nodes).
+5. **Digest shortcut** -- test ``t`` and its ancestors (deepest first)
+   against known inverse-mapping digests; a hit strictly closer than
+   the best candidate so far wins (section 3.6.1).
+
+The hot loop avoids allocating: distances are computed by an inlined
+ancestor-chain prefix scan against precomputed tuples.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+
+class RouteAction(enum.Enum):
+    RESOLVED = "resolved"
+    FORWARD = "forward"
+    FAIL = "fail"
+
+
+class RouteDecision:
+    """Outcome of one routing step.
+
+    Attributes:
+        action: resolved locally, forward to ``next_server``, or fail.
+        via: the candidate node the forwarding targets (the node on
+            whose behalf the next server will process the query).
+        next_server: chosen host of ``via``.
+        source: which candidate class won ("resolved", "direct",
+            "struct", "cache", "digest") -- used by accuracy metrics
+            and the ablation benchmarks.
+        distance: namespace distance from ``via`` to the destination.
+    """
+
+    __slots__ = ("action", "via", "next_server", "source", "distance")
+
+    def __init__(
+        self,
+        action: RouteAction,
+        via: int = -1,
+        next_server: int = -1,
+        source: str = "",
+        distance: int = -1,
+    ) -> None:
+        self.action = action
+        self.via = via
+        self.next_server = next_server
+        self.source = source
+        self.distance = distance
+
+    def __repr__(self) -> str:
+        return (
+            f"RouteDecision({self.action.value}, via={self.via}, "
+            f"next_server={self.next_server}, source={self.source!r})"
+        )
+
+
+def closest_hosted(peer, dest: int) -> Tuple[int, int]:
+    """The hosted node closest to ``dest`` and its distance.
+
+    Every server owns at least one node, so this always exists.
+    """
+    ns = peer.ns
+    anc = ns.anc
+    depth = ns.depth
+    a_dest = anc[dest]
+    n_dest = len(a_dest)
+    d_dest = depth[dest]
+    best = -1
+    best_d = 1 << 30
+    for h in peer.iter_hosted():
+        a_h = anc[h]
+        # inline prefix scan for lca depth
+        n = len(a_h)
+        if n_dest < n:
+            n = n_dest
+        i = 0
+        while i < n and a_h[i] == a_dest[i]:
+            i += 1
+        d = depth[h] + d_dest - 2 * (i - 1)
+        if d < best_d:
+            best_d = d
+            best = h
+            if d == 1:
+                break  # cannot do better without hosting dest
+    return best, best_d
+
+
+def structural_next(peer, h_star: int, dest: int) -> int:
+    """The neighbor of ``h_star`` one step toward ``dest``.
+
+    If ``h_star`` is an ancestor of ``dest`` this is the child on the
+    path down to ``dest``; otherwise it is ``h_star``'s parent.
+    """
+    ns = peer.ns
+    if ns.is_ancestor(h_star, dest):
+        return ns.anc[dest][ns.depth[h_star] + 1]
+    return ns.parent[h_star]
+
+
+def scan_cache(peer, dest: int, best_d: int) -> Tuple[int, int]:
+    """Best cache candidate strictly closer than ``best_d``.
+
+    Returns ``(node, distance)`` or ``(-1, best_d)`` when nothing beats
+    the current best.
+    """
+    cache = peer.cache
+    if not len(cache):
+        return -1, best_d
+    ns = peer.ns
+    anc = ns.anc
+    depth = ns.depth
+    a_dest = anc[dest]
+    n_dest = len(a_dest)
+    d_dest = depth[dest]
+    best = -1
+    for v in cache.nodes():
+        a_v = anc[v]
+        n = len(a_v)
+        if n_dest < n:
+            n = n_dest
+        i = 0
+        while i < n and a_v[i] == a_dest[i]:
+            i += 1
+        d = depth[v] + d_dest - 2 * (i - 1)
+        if d < best_d:
+            best_d = d
+            best = v
+    return best, best_d
+
+
+def digest_shortcut(peer, dest: int, best_d: int) -> Tuple[int, int, int]:
+    """Probe known digests for a node strictly closer than ``best_d``.
+
+    Tests ``dest`` and its ancestors, deepest first, against the most
+    recently observed digest snapshots (bounded by
+    ``digest_probe_limit`` snapshots per step).  Deeper ancestors are
+    strictly closer to ``dest``, so the first hit is the best hit.
+
+    Returns ``(node, server, distance)`` or ``(-1, -1, best_d)``.
+    """
+    ddir = peer.digest_dir
+    if ddir is None or not len(ddir):
+        return -1, -1, best_d
+    ns = peer.ns
+    a_dest = ns.anc[dest]
+    d_dest = ns.depth[dest]
+    # ancestors at depth da have distance d_dest - da; only depths
+    # yielding a strict improvement are worth probing
+    min_depth = d_dest - best_d + 1
+    if min_depth > d_dest:
+        return -1, -1, best_d
+    limit = peer.cfg.digest_probe_limit
+    sid = peer.sid
+    snaps = []
+    for server in ddir.servers():
+        if server == sid:
+            continue
+        snap = ddir.get(server)
+        if snap is not None:
+            snaps.append((server, snap[1]))
+            if limit and len(snaps) >= limit:
+                break
+    if not snaps:
+        return -1, -1, best_d
+    positions = ddir.reference.bloom._positions
+    for da in range(d_dest, max(min_depth, 0) - 1, -1):
+        pos = positions(a_dest[da])
+        for server, words in snaps:
+            for p in pos:
+                if not (words[p >> 6] >> (p & 63)) & 1:
+                    break
+            else:
+                return a_dest[da], server, d_dest - da
+    return -1, -1, best_d
+
+
+def decide(peer, dest: int) -> RouteDecision:
+    """One full routing step for a query destined to ``dest`` at ``peer``."""
+    if peer.hosts(dest):
+        return RouteDecision(RouteAction.RESOLVED, via=dest, source="resolved", distance=0)
+
+    rng = peer.rng
+    sid = peer.sid
+
+    # direct map for the destination itself (neighbor of a hosted node)
+    direct = peer.maps.get(dest)
+    if direct:
+        server = _select_filtered(peer, dest, direct, rng, sid)
+        if server >= 0:
+            return RouteDecision(
+                RouteAction.FORWARD, via=dest, next_server=server,
+                source="direct", distance=0,
+            )
+
+    # destination sitting in the cache: also distance 0
+    if peer.cache is not None:
+        centry = peer.cache.peek(dest)
+        if centry:
+            server = _select_filtered(peer, dest, centry, rng, sid)
+            if server >= 0:
+                peer.cache.touch(dest)
+                return RouteDecision(
+                    RouteAction.FORWARD, via=dest, next_server=server,
+                    source="cache", distance=0,
+                )
+            peer.cache.remove(dest)
+
+    # structural candidate from the closest hosted node's context
+    h_star, d_star = closest_hosted(peer, dest)
+    via = structural_next(peer, h_star, dest)
+    best_d = d_star - 1
+    source = "struct"
+
+    # cache scan for anything strictly closer
+    if peer.cache is not None:
+        cnode, cd = scan_cache(peer, dest, best_d)
+        if cnode >= 0:
+            via, best_d, source = cnode, cd, "cache"
+
+    # digest shortcut for anything closer still
+    if peer.cfg.digests_enabled:
+        dnode, dserver, dd = digest_shortcut(peer, dest, best_d)
+        if dnode >= 0:
+            return RouteDecision(
+                RouteAction.FORWARD, via=dnode, next_server=dserver,
+                source="digest", distance=dd,
+            )
+
+    # resolve the winning candidate's map to a next-hop server
+    if source == "cache":
+        entry = peer.cache.get(via) or []
+        server = _select_filtered(peer, via, entry, rng, sid)
+        if server >= 0:
+            return RouteDecision(
+                RouteAction.FORWARD, via=via, next_server=server,
+                source="cache", distance=best_d,
+            )
+        # dead cache entry: drop it and fall back to the structural hop
+        peer.cache.remove(via)
+        via = structural_next(peer, h_star, dest)
+        best_d = d_star - 1
+        source = "struct"
+
+    entry = peer.maps.get(via) or []
+    server = _select_filtered(peer, via, entry, rng, sid)
+    if server >= 0:
+        return RouteDecision(
+            RouteAction.FORWARD, via=via, next_server=server,
+            source=source, distance=best_d,
+        )
+    return RouteDecision(RouteAction.FAIL, via=via, source=source, distance=best_d)
+
+
+def _select(entry: List[int], rng, exclude: int) -> int:
+    """Random host from a map, excluding ``exclude``; -1 when none."""
+    n = len(entry)
+    if n == 1:
+        s = entry[0]
+        return s if s != exclude else -1
+    if n == 0:
+        return -1
+    eligible = [s for s in entry if s != exclude]
+    if not eligible:
+        return -1
+    return eligible[rng.randrange(len(eligible))]
+
+
+def _select_filtered(peer, node: int, entry: List[int], rng, exclude: int) -> int:
+    """Digest-aware replica selection (paper section 3.7, map filtering).
+
+    Entries whose last known digest *denies* hosting ``node`` are
+    skipped -- best-effort: unknown digests pass, and stale digests may
+    wrongly veto a fresh replica (the paper accepts both).  Falls back
+    to unfiltered selection when filtering empties the map, so a wall
+    of stale digests cannot black-hole a reachable node.
+    """
+    if not entry:
+        return -1
+    ddir = peer.digest_dir
+    if ddir is None or not peer.cfg.digests_enabled:
+        return _select(entry, rng, exclude)
+    eligible = [
+        s for s in entry
+        if s != exclude and ddir.test(s, node) is not False
+    ]
+    if not eligible:
+        return _select(entry, rng, exclude)
+    return eligible[rng.randrange(len(eligible))]
+
+
+def inferable_names(peer, dest: int) -> List[int]:
+    """Gen(S): every node id the server can infer (paper section 3.6.1).
+
+    Hosted, neighboring, and cached node ids, the destination, plus --
+    via "prefix extraction" -- all of their ancestors up to the root.
+    Used by the digest-shortcut discovery procedure in its full
+    generality (the hot path probes only the destination's own ancestor
+    chain, which contains every candidate that can actually improve on
+    map-based routing toward ``dest``).
+    """
+    ns = peer.ns
+    out = set()
+    seeds = set(peer.iter_hosted())
+    seeds.update(peer.maps.keys())
+    if peer.cache is not None:
+        seeds.update(peer.cache.nodes())
+    seeds.add(dest)
+    for v in seeds:
+        out.update(ns.anc[v])
+    return sorted(out)

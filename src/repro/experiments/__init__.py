@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning plain dicts/lists
+(the same rows/series the paper plots) plus a ``main()`` that prints
+them; the benchmark suite wraps the ``run_*`` functions and asserts the
+paper's qualitative shapes.
+
+All experiments accept a :class:`~repro.experiments.common.Scale` so
+the same code runs at paper size (hours of CPU) or at the scaled-down
+defaults recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    PAPER,
+    SCALES,
+    SMALL,
+    TINY,
+    Scale,
+    get_scale,
+    rate_for_utilization,
+)
+
+__all__ = [
+    "PAPER",
+    "SCALES",
+    "SMALL",
+    "TINY",
+    "Scale",
+    "get_scale",
+    "rate_for_utilization",
+]

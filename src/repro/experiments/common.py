@@ -1,0 +1,172 @@
+"""Shared experiment infrastructure: scales, namespaces, run helpers.
+
+The paper's runs (1,000 servers, 32,767-node N_S, 250-10,000 simulated
+seconds, up to 24M queries) are hours of CPU for a pure-Python DES, so
+every experiment is parameterised by a :class:`Scale` that shrinks
+server count, namespace, rates, and durations *together*, preserving
+the dimensionless quantities that determine every figure's shape:
+target utilisations, Zipf orders, threshold ratios (l_high, delta_min),
+queue depth, cache-to-namespace ratio, and replication factor.
+
+Select a scale with the ``REPRO_SCALE`` environment variable
+(``tiny`` | ``small`` | ``paper``; default ``tiny``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.cluster.system import System
+from repro.namespace.generators import balanced_tree, coda_like_tree
+from repro.namespace.tree import Namespace
+from repro.workload.arrivals import WorkloadDriver
+from repro.workload.streams import WorkloadSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """One coherent scaled-down configuration of the paper's testbed.
+
+    Attributes:
+        name: scale label.
+        ns_levels: N_S binary-tree depth (paper: 14 -> 32,767 nodes).
+        nc_nodes: N_C synthetic file-system node count (paper: ~74k).
+        n_servers: participating servers (paper: 1,000).
+        hops_estimate: expected processed messages per query, used to
+            convert a utilisation target into an arrival rate.
+        warmup: uniform warm-up seconds in cuzipf streams (paper: 50).
+        phase: seconds per Zipf phase (paper: 50).
+        n_phases: Zipf phases per cuzipf stream (paper: 4).
+        drain: extra seconds to let in-flight queries finish.
+        cache_slots: LRU entries per server.
+        digest_probe_limit: digest snapshots probed per routing step.
+            Must shrink with the system: probing k digests covers
+            ``k * nodes_per_server / n_nodes`` of the namespace per
+            hop, and that fraction -- about 0.8% at paper scale -- is
+            what must be preserved, or digest shortcuts erase the
+            hierarchical bottleneck the paper studies.
+        long_run: duration of the Fig. 8 stabilisation run (paper: 10,000 s).
+        long_bucket: seconds per Fig. 8 bucket (paper: 60 s).
+    """
+
+    name: str
+    ns_levels: int
+    nc_nodes: int
+    n_servers: int
+    hops_estimate: float = 3.5
+    warmup: float = 50.0
+    phase: float = 50.0
+    n_phases: int = 4
+    drain: float = 5.0
+    cache_slots: int = 16
+    digest_probe_limit: int = 8
+    long_run: float = 10_000.0
+    long_bucket: int = 60
+
+    @property
+    def smooth_window(self) -> int:
+        """Fig. 6 right-panel smoothing window (paper: 11 s at phase 50)."""
+        return max(3, int(round(self.phase * 11.0 / 50.0)) | 1)
+
+
+TINY = Scale(
+    name="tiny", ns_levels=10, nc_nodes=3_000, n_servers=32,
+    warmup=6.0, phase=6.0, n_phases=4, cache_slots=12,
+    digest_probe_limit=1, long_run=240.0, long_bucket=30,
+)
+SMALL = Scale(
+    name="small", ns_levels=11, nc_nodes=10_000, n_servers=64,
+    warmup=12.0, phase=12.0, n_phases=4, cache_slots=16,
+    digest_probe_limit=2, long_run=480.0, long_bucket=40,
+)
+PAPER = Scale(
+    name="paper", ns_levels=14, nc_nodes=73_752, n_servers=1_000,
+    warmup=50.0, phase=50.0, n_phases=4, cache_slots=26,
+    digest_probe_limit=8, long_run=10_000.0, long_bucket=60,
+)
+
+SCALES: Dict[str, Scale] = {s.name: s for s in (TINY, SMALL, PAPER)}
+
+
+def get_scale(name: Optional[str] = None) -> Scale:
+    """Resolve a scale by name, falling back to ``$REPRO_SCALE`` or tiny."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "tiny")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def rate_for_utilization(
+    util: float,
+    n_servers: int,
+    service_mean: float = 0.005,
+    hops_estimate: float = 3.5,
+) -> float:
+    """Global arrival rate producing a target mean utilisation.
+
+    Each query occupies ``hops_estimate`` servers for ``service_mean``
+    seconds each, so ``util = rate * hops * T / N``.
+    """
+    if not 0.0 < util < 1.0:
+        raise ValueError("util must be in (0, 1)")
+    return util * n_servers / (service_mean * hops_estimate)
+
+
+def make_ns(scale: Scale) -> Namespace:
+    """The synthetic N_S namespace (perfectly balanced binary tree)."""
+    return balanced_tree(levels=scale.ns_levels)
+
+
+def make_nc(scale: Scale) -> Namespace:
+    """The file-system-shaped N_C namespace (Coda stand-in)."""
+    return coda_like_tree(n_nodes=scale.nc_nodes)
+
+
+def build(
+    ns: Namespace,
+    scale: Scale,
+    preset: str = "BCR",
+    seed: int = 0,
+    **overrides,
+) -> System:
+    """Build a system under one of the Fig. 5 presets (B, BC, BCR)."""
+    factory = {
+        "B": SystemConfig.base,
+        "BC": SystemConfig.caching,
+        "BCR": SystemConfig.replicated,
+    }[preset]
+    merged = dict(
+        n_servers=scale.n_servers,
+        seed=seed,
+        cache_slots=scale.cache_slots,
+        digest_probe_limit=scale.digest_probe_limit,
+    )
+    merged.update(overrides)
+    cfg = factory(**merged)
+    return build_system(ns, cfg)
+
+
+def run_workload(
+    system: System, spec: WorkloadSpec, drain: float = 5.0
+) -> WorkloadDriver:
+    """Drive ``spec`` into ``system`` to completion; return the driver."""
+    driver = WorkloadDriver(system, spec)
+    driver.start()
+    system.run_until(spec.duration + drain)
+    return driver
+
+
+ZIPF_ORDERS: Tuple[float, ...] = (0.75, 1.00, 1.25, 1.50)
+"""The Zipf orders the paper sweeps ("covering the whole domain of
+interest: 0.75, 1.00, 1.25, and 1.50 for heavily skewed requests")."""
+
+UTILIZATION_TARGETS: Tuple[float, ...] = (0.08, 0.2, 0.4)
+"""The three utilisation factors of section 4.3."""

@@ -1,0 +1,94 @@
+"""Fig. 4: replicas created every second over time (N_C).
+
+Same streams as Fig. 3 but on the file-system namespace.  The paper
+plots replica creations per second relative to the query rate: a burst
+during hierarchical stabilisation, then a spike at every popularity
+reshuffle, decaying as coverage is reached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.series import replica_fraction_series
+from repro.experiments.common import (
+    Scale,
+    ZIPF_ORDERS,
+    build,
+    get_scale,
+    make_nc,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.experiments.parallel import parallel_map
+from repro.workload.streams import WorkloadSpec, cuzipf_stream, unif_stream
+
+
+def fig4_stream(
+    scale: Scale,
+    spec: WorkloadSpec,
+    rate: float,
+    n_bins: int,
+    seed: int,
+) -> tuple:
+    """One stream of Fig. 4 -- picklable task unit."""
+    ns = make_nc(scale)
+    system = build(ns, scale, preset="BCR", seed=seed)
+    run_workload(system, spec, drain=scale.drain)
+    return spec.name, replica_fraction_series(system, rate, n_bins)
+
+
+def run_fig4(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Reproduce Fig. 4's per-second replica-creation series on N_C.
+
+    Returns:
+        Mapping from stream label to replicas created per second
+        relative to the insertion rate.
+    """
+    scale = scale or get_scale()
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    stagger = scale.warmup / 5.0
+    duration = scale.warmup + 4 * stagger + scale.n_phases * scale.phase
+    specs: List[WorkloadSpec] = [
+        unif_stream(rate, duration, seed=seed, name="unif")
+    ]
+    for i, alpha in enumerate(ZIPF_ORDERS):
+        specs.append(
+            cuzipf_stream(
+                rate,
+                alpha,
+                warmup=scale.warmup + (i + 1) * stagger,
+                phase=scale.phase,
+                n_phases=scale.n_phases,
+                seed=seed,
+                name=f"uzipf{alpha:.2f}",
+            )
+        )
+
+    n_bins = int(duration) + 1
+    results: Dict[str, List[float]] = {}
+    tasks = [
+        dict(scale=scale, spec=spec, rate=rate, n_bins=n_bins, seed=seed)
+        for spec in specs
+    ]
+    for name, series in parallel_map(fig4_stream, tasks):
+        results[name] = series
+    return results
+
+
+def main() -> None:  # pragma: no cover
+    from repro.experiments.report import print_series_table
+
+    results = run_fig4()
+    print("Fig. 4 -- replicas created every second (vs rate), namespace N_C")
+    print_series_table(results, bin_label="t(s)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

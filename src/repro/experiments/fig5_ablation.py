@@ -1,0 +1,184 @@
+"""Fig. 5: fraction of dropped queries -- B vs BC vs BCR across streams.
+
+The paper's headline ablation: the base system (B), base + caching
+(BC), and base + caching + replication (BCR) are run against ten query
+streams -- ``unif`` and ``uzipf{0.75,1.00,1.25,1.50}`` on each of N_S
+(suffix S) and N_C (suffix C).  Replication keeps drops near zero;
+without it a large fraction of queries is dropped "to a point where the
+system is barely usable", and caching alone *aggravates* N_S while
+slightly helping N_C.
+
+The 30 runs are independent; set ``REPRO_WORKERS`` to fan them out
+across cores (see :mod:`repro.experiments.parallel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.summary import run_summary
+from repro.cluster.config import SystemConfig
+from repro.experiments.common import (
+    Scale,
+    ZIPF_ORDERS,
+    build,
+    get_scale,
+    make_nc,
+    make_ns,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.experiments.parallel import parallel_map
+from repro.workload.streams import cuzipf_stream, unif_stream
+
+PRESETS = ("B", "BC", "BCR")
+
+#: (label, namespace kind, alpha); alpha 0 = uniform
+STREAMS: Tuple[Tuple[str, str, float], ...] = tuple(
+    (f"unif{suffix}", suffix, 0.0) for suffix in ("S", "C")
+) + tuple(
+    (f"uzipf{suffix}{alpha:.2f}", suffix, alpha)
+    for suffix in ("S", "C")
+    for alpha in ZIPF_ORDERS
+)
+
+
+def fig5_cell(
+    scale: Scale,
+    preset: str,
+    label: str,
+    ns_kind: str,
+    alpha: float,
+    utilization: float,
+    seed: int,
+) -> Tuple[str, str, Dict[str, float]]:
+    """One (preset, stream) cell of Fig. 5 -- picklable task unit."""
+    ns = make_ns(scale) if ns_kind == "S" else make_nc(scale)
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    duration = scale.warmup + scale.n_phases * scale.phase
+    if alpha == 0.0:
+        spec = unif_stream(rate, duration, seed=seed)
+    else:
+        spec = cuzipf_stream(
+            rate, alpha, warmup=scale.warmup, phase=scale.phase,
+            n_phases=scale.n_phases, seed=seed,
+        )
+    system = build(ns, scale, preset=preset, seed=seed)
+    run_workload(system, spec, drain=scale.drain)
+    return preset, label, run_summary(system)
+
+
+def run_fig5(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    seed: int = 0,
+    presets=PRESETS,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Reproduce Fig. 5.
+
+    Returns:
+        ``{preset: {stream: run_summary_dict}}`` -- the drop fractions
+        inside are what the paper's bar chart plots.
+    """
+    scale = scale or get_scale()
+    tasks = [
+        dict(
+            scale=scale, preset=preset, label=label, ns_kind=kind,
+            alpha=alpha, utilization=utilization, seed=seed,
+        )
+        for preset in presets
+        for (label, kind, alpha) in STREAMS
+    ]
+    results: Dict[str, Dict[str, Dict[str, float]]] = {
+        p: {} for p in presets
+    }
+    for preset, label, summary in parallel_map(fig5_cell, tasks, workers):
+        results[preset][label] = summary
+    return results
+
+
+def run_fig5_sparse(
+    n_servers: int = 256,
+    levels: int = 10,
+    utilization: float = 0.3,
+    duration: float = 20.0,
+    seed: int = 1,
+    presets=PRESETS,
+    alphas=(0.0, 1.25),
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 5 on N_S with *sparse* ownership (8 nodes per server).
+
+    The paper's two sharpest Fig. 5 effects need thin per-server
+    ownership (1,000 servers for 32,767 nodes) to show: (i) the base
+    system drops a large fraction of queries from the hierarchical
+    bottleneck alone, and (ii) caching *aggravates* N_S -- cached
+    pointers to the top of the tree concentrate traffic onto those
+    nodes' owners.  At the dense tiny/small scales those owners also
+    own dozens of other nodes and absorb the load, so this entry point
+    rebuilds the paper's ownership ratio directly (compare Fig. 9's
+    8-nodes-per-server setup).
+
+    Returns:
+        ``{preset: {stream: drop_fraction}}``.
+    """
+    from repro.cluster.builder import build_system
+    from repro.namespace.generators import balanced_tree
+    from repro.workload.arrivals import WorkloadDriver
+
+    ns = balanced_tree(levels=levels)
+    rate = rate_for_utilization(utilization, n_servers, hops_estimate=5.0)
+    results: Dict[str, Dict[str, float]] = {}
+    factories = {
+        "B": SystemConfig.base,
+        "BC": SystemConfig.caching,
+        "BCR": SystemConfig.replicated,
+    }
+    for preset in presets:
+        per_stream: Dict[str, float] = {}
+        for alpha in alphas:
+            label = "unifS" if alpha == 0.0 else f"uzipfS{alpha:.2f}"
+            cfg = factories[preset](
+                n_servers=n_servers, seed=seed, cache_slots=12,
+                digest_probe_limit=1,
+            )
+            system = build_system(ns, cfg)
+            if alpha == 0.0:
+                spec = unif_stream(rate, duration, seed=seed)
+            else:
+                spec = cuzipf_stream(
+                    rate, alpha, warmup=duration / 2, phase=duration / 4,
+                    n_phases=2, seed=seed,
+                )
+            WorkloadDriver(system, spec).run(extra_time=3.0)
+            per_stream[label] = system.stats.drop_fraction
+        results[preset] = per_stream
+    return results
+
+
+def drop_table(results) -> Dict[str, Dict[str, float]]:
+    """Collapse :func:`run_fig5` output to ``{preset: {stream: drop%}}``."""
+    return {
+        preset: {s: summ["drop_fraction"] for s, summ in streams.items()}
+        for preset, streams in results.items()
+    }
+
+
+def main() -> None:  # pragma: no cover
+    from repro.experiments.report import print_matrix
+
+    results = run_fig5()
+    print("Fig. 5 -- fraction of dropped queries (B / BC / BCR)")
+    table = drop_table(results)
+    streams = list(next(iter(table.values())).keys())
+    print_matrix(
+        row_labels=list(table.keys()),
+        col_labels=streams,
+        values=[[table[p][s] for s in streams] for p in table],
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 7: average replicas created per namespace level (N_S).
+
+For each level of the balanced binary tree, the average number of
+replicas created for nodes on that level, under uniform and Zipf query
+streams at several arrival rates.  The paper's signature shape: the
+peak sits at level 2, *not* at the root -- pointers to the handful of
+level-1/2 nodes stay in every server's cache, so many routes shortcut
+past the top of the tree, while level-2 nodes still aggregate enough
+traffic to overload their hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.levels import replicas_per_level
+from repro.experiments.common import (
+    Scale,
+    build,
+    get_scale,
+    make_ns,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.experiments.parallel import parallel_map
+from repro.workload.streams import cuzipf_stream, unif_stream
+
+
+def fig7_point(scale: Scale, util: float, kind: str, alpha: float,
+               seed: int) -> tuple:
+    """One (rate, stream-kind) cell of Fig. 7 -- picklable task unit."""
+    ns = make_ns(scale)
+    duration = scale.warmup + scale.n_phases * scale.phase
+    rate = rate_for_utilization(
+        util, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    if kind == "unif":
+        spec = unif_stream(rate, duration, seed=seed)
+    else:
+        spec = cuzipf_stream(
+            rate, alpha, warmup=scale.warmup, phase=scale.phase,
+            n_phases=scale.n_phases, seed=seed,
+        )
+    system = build(ns, scale, preset="BCR", seed=seed)
+    run_workload(system, spec, drain=scale.drain)
+    return f"{kind}@{util:g}", replicas_per_level(system)
+
+
+def run_fig7(
+    scale: Optional[Scale] = None,
+    utilizations=(0.1, 0.2, 0.4),
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Reproduce Fig. 7.
+
+    Returns:
+        Mapping ``"{unif|uzipf}@util"`` -> average replicas created per
+        level (index = tree depth, 0 = root).
+    """
+    scale = scale or get_scale()
+    tasks = [
+        dict(scale=scale, util=util, kind=kind, alpha=alpha, seed=seed)
+        for util in utilizations
+        for kind in ("unif", "uzipf")
+    ]
+    results: Dict[str, List[float]] = {}
+    for label, series in parallel_map(fig7_point, tasks):
+        results[label] = series
+    return results
+
+
+def main() -> None:  # pragma: no cover
+    results = run_fig7()
+    levels = len(next(iter(results.values())))
+    header = "level " + " ".join(f"{k:>12}" for k in results)
+    print("Fig. 7 -- average replicas created per namespace level")
+    print(header)
+    for lvl in range(levels):
+        row = " ".join(f"{results[k][lvl]:12.2f}" for k in results)
+        print(f"{lvl:>5} {row}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,117 @@
+"""Fig. 8: stabilisation and long-term behaviour.
+
+Long constant-distribution runs (``unif`` and ``cuzipf1.00`` with a
+short uniform prefix) on both namespaces, plotting replicas created per
+minute.  The paper's finding: under a constant request distribution the
+replica-creation rate decays like an exponential toward quiescence --
+the protocol stabilises rather than churning forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.series import minute_buckets, rate_series
+from repro.experiments.common import (
+    Scale,
+    build,
+    get_scale,
+    make_nc,
+    make_ns,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.experiments.parallel import parallel_map
+from repro.workload.streams import StreamSegment, WorkloadSpec, unif_stream
+
+
+def fig8_stream(
+    scale: Scale,
+    suffix: str,
+    spec: WorkloadSpec,
+    total: float,
+    seed: int,
+) -> tuple:
+    """One long-run stream of Fig. 8 -- picklable task unit."""
+    ns = make_ns(scale) if suffix == "S" else make_nc(scale)
+    system = build(ns, scale, preset="BCR", seed=seed)
+    run_workload(system, spec, drain=scale.drain)
+    per_second = rate_series(system, "replicas_created", n_bins=int(total) + 1)
+    return spec.name, minute_buckets(per_second,
+                                     seconds_per_bucket=scale.long_bucket)
+
+
+def _long_cuzipf(rate: float, alpha: float, warmup: float, total: float,
+                 seed: int, name: str) -> WorkloadSpec:
+    """unif warm-up then ONE long Zipf phase (constant distribution)."""
+    return WorkloadSpec(
+        rate=rate,
+        segments=(
+            StreamSegment(warmup, alpha=0.0),
+            StreamSegment(total - warmup, alpha=alpha, reshuffle=True),
+        ),
+        seed=seed,
+        name=name,
+    )
+
+
+def run_fig8(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.35,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Reproduce Fig. 8.
+
+    Returns:
+        Mapping stream label (unifS/unifC/uzipfS1.00/uzipfC1.00) to
+        replicas created per bucket (paper: per minute).
+    """
+    scale = scale or get_scale()
+    results: Dict[str, List[float]] = {}
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    total = scale.long_run
+    tasks = []
+    for suffix in ("S", "C"):
+        for kind in ("unif", "uzipf"):
+            if kind == "unif":
+                spec = unif_stream(rate, total, seed=seed,
+                                   name=f"unif{suffix}")
+            else:
+                spec = _long_cuzipf(
+                    rate, alpha, warmup=scale.warmup, total=total,
+                    seed=seed, name=f"uzipf{suffix}{alpha:.2f}",
+                )
+            tasks.append(dict(scale=scale, suffix=suffix, spec=spec,
+                              total=total, seed=seed))
+    for name, buckets in parallel_map(fig8_stream, tasks):
+        results[name] = buckets
+    return results
+
+
+def decay_ratio(buckets: List[float]) -> float:
+    """Late-to-early replica-creation ratio (quiescence indicator).
+
+    Compares the mean of the last quarter of buckets to the first
+    quarter; a stabilising protocol drives this well below 1.
+    """
+    if len(buckets) < 4:
+        raise ValueError("need at least 4 buckets")
+    q = max(1, len(buckets) // 4)
+    early = sum(buckets[:q]) / q
+    late = sum(buckets[-q:]) / q
+    return late / early if early > 0 else 0.0
+
+
+def main() -> None:  # pragma: no cover
+    results = run_fig8()
+    print("Fig. 8 -- replicas created per bucket over a long run")
+    for name, buckets in results.items():
+        tail = " ".join(f"{b:.0f}" for b in buckets)
+        print(f"{name:>12}: {tail}  (decay ratio {decay_ratio(buckets):.2f})")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,115 @@
+"""Fig. 9: scalability with system size.
+
+Server count doubles across the sweep (paper: 2^9..2^14) with 8 nodes
+per server (balanced binary tree), cache size and Rmap growing
+logarithmically, Rfact fixed at 2, and the arrival rate proportional to
+system size (constant utilisation).  The paper reports query latency
+scaling logarithmically, replication events linearly, and drops
+approaching proportionality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.analysis.series import rate_series
+from repro.analysis.summary import run_summary
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.experiments.common import Scale, get_scale, rate_for_utilization
+from repro.namespace.generators import balanced_tree
+from repro.workload.streams import cuzipf_stream
+from repro.workload.arrivals import WorkloadDriver
+
+
+def sweep_sizes(scale: Scale) -> List[int]:
+    """Server-count sweep for the given scale (powers of two)."""
+    if scale.name == "paper":
+        return [2**k for k in range(9, 15)]
+    if scale.name == "small":
+        return [2**k for k in range(5, 10)]
+    return [2**k for k in range(4, 8)]
+
+
+def run_fig9(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.3,
+    alpha: float = 1.0,
+    duration: Optional[float] = None,
+    seed: int = 0,
+) -> Dict[int, Dict[str, float]]:
+    """Reproduce Fig. 9.
+
+    For each system size: mean query latency (seconds and hops), total
+    replication events, and total dropped queries.
+
+    Returns:
+        ``{n_servers: summary_dict}`` with added keys ``latency_hops``,
+        ``rate``, ``nodes``.
+    """
+    scale = scale or get_scale()
+    sizes = sweep_sizes(scale)
+    base_k = int(math.log2(sizes[0]))
+    results: Dict[int, Dict[str, float]] = {}
+    for n_servers in sizes:
+        k = int(math.log2(n_servers))
+        # 8 nodes per server: a binary tree with 2^(k+3)-1 nodes
+        ns = balanced_tree(levels=k + 2)
+        cache_slots = scale.cache_slots + 2 * (k - base_k)
+        rmap = 2 + (k - base_k)
+        cfg = SystemConfig.replicated(
+            n_servers=n_servers,
+            seed=seed,
+            cache_slots=cache_slots,
+            rmap=rmap,
+            rfact=2.0,
+        )
+        system = build_system(ns, cfg)
+        rate = rate_for_utilization(
+            utilization, n_servers, hops_estimate=scale.hops_estimate
+        )
+        run_time = duration if duration is not None else max(
+            10.0, scale.phase * 2
+        )
+        spec = cuzipf_stream(
+            rate, alpha, warmup=run_time / 3, phase=run_time / 3,
+            n_phases=2, seed=seed,
+        )
+        driver = WorkloadDriver(system, spec)
+        driver.start()
+        system.run_until(spec.duration + scale.drain)
+        summary = run_summary(system)
+        summary["latency_hops"] = summary["mean_hops"]
+        summary["rate"] = rate
+        summary["nodes"] = float(len(ns))
+        # steady-state drop fraction: second half of the run, after the
+        # cold hierarchical stabilisation (whose absolute cost grows
+        # with system size and would otherwise dominate the average)
+        n_bins = int(spec.duration) + 1
+        half = n_bins // 2
+        injected = rate_series(system, "injected", n_bins)[half:]
+        drops = rate_series(system, "drops", n_bins)[half:]
+        inj = sum(injected)
+        summary["drop_fraction_steady"] = sum(drops) / inj if inj else 0.0
+        results[n_servers] = summary
+    return results
+
+
+def main() -> None:  # pragma: no cover
+    results = run_fig9()
+    print("Fig. 9 -- scalability (latency, replications, drops)")
+    print(f"{'servers':>8} {'latency(s)':>11} {'hops':>6} "
+          f"{'log2(repl)':>11} {'log2(drops)':>12}")
+    for n, s in results.items():
+        repl = s["replicas_created"]
+        drops = s["dropped"]
+        print(
+            f"{n:>8} {s['mean_latency']:>11.3f} {s['mean_hops']:>6.2f} "
+            f"{math.log2(repl) if repl else 0:>11.2f} "
+            f"{math.log2(drops) if drops else 0:>12.2f}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

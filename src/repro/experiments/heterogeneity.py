@@ -1,0 +1,95 @@
+"""Heterogeneity experiment (paper section 5, closing argument).
+
+"A recent analysis of two popular P2P file sharing systems concludes
+that the most distinguishing feature of these systems is their
+heterogeneity. We believe that the adaptive nature of our replication
+model makes it a first-class candidate for exploiting system
+heterogeneity."
+
+The experiment quantifies that: half the servers are made k-times
+slower, and the same skewed workload is run with and without the
+adaptive protocol.  Because the load metric is *locally normalized*
+(busy fraction of each server's own capacity), slow servers hit the
+high-water threshold sooner and shed their hot nodes toward fast ones
+-- no global knowledge of machine speeds required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.summary import run_summary
+from repro.experiments.common import (
+    Scale,
+    build,
+    get_scale,
+    make_ns,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.workload.streams import cuzipf_stream
+
+
+def run_heterogeneity(
+    scale: Optional[Scale] = None,
+    slow_fraction: float = 0.5,
+    slow_factor: float = 2.5,
+    utilization: float = 0.35,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Compare BC vs BCR on a heterogeneous server population.
+
+    Returns ``{mode: summary}`` for modes ``homogeneous-BCR``,
+    ``heterogeneous-BC``, ``heterogeneous-BCR``, each including
+    ``slow_hosted_share`` -- the fraction of hosted node instances
+    sitting on slow servers at the end (adaptive replication should
+    push it below the static share).
+    """
+    scale = scale or get_scale()
+    ns = make_ns(scale)
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    spec = cuzipf_stream(
+        rate, alpha, warmup=scale.warmup, phase=scale.phase,
+        n_phases=scale.n_phases, seed=seed,
+    )
+    cases = {
+        "homogeneous-BCR": ("BCR", {}),
+        "heterogeneous-BC": ("BC", dict(
+            slow_server_fraction=slow_fraction, slow_factor=slow_factor)),
+        "heterogeneous-BCR": ("BCR", dict(
+            slow_server_fraction=slow_fraction, slow_factor=slow_factor)),
+    }
+    results: Dict[str, Dict[str, float]] = {}
+    for label, (preset, overrides) in cases.items():
+        system = build(ns, scale, preset=preset, seed=seed, **overrides)
+        run_workload(system, spec, drain=scale.drain)
+        summary = run_summary(system)
+        slow = [p for p in system.peers
+                if p.service_mean > system.cfg.service_mean]
+        hosted_slow = sum(p.n_hosted for p in slow)
+        hosted_all = sum(p.n_hosted for p in system.peers)
+        summary["slow_hosted_share"] = (
+            hosted_slow / hosted_all if hosted_all else 0.0
+        )
+        summary["n_slow"] = float(len(slow))
+        results[label] = summary
+    return results
+
+
+def main() -> None:  # pragma: no cover
+    results = run_heterogeneity()
+    print("Heterogeneity -- half the servers 2.5x slower")
+    print(f"{'case':>20} {'drop%':>7} {'latency(ms)':>12} {'replicas':>9} "
+          f"{'slow hosted %':>14}")
+    for label, s in results.items():
+        print(f"{label:>20} {100 * s['drop_fraction']:>7.2f} "
+              f"{1000 * s['mean_latency']:>12.1f} "
+              f"{s['replicas_created']:>9.0f} "
+              f"{100 * s['slow_hosted_share']:>14.1f}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

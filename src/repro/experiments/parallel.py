@@ -1,0 +1,78 @@
+"""Multiprocess fan-out for experiment campaigns.
+
+Every figure experiment is a set of *independent* simulation runs
+(streams x presets x rates), which parallelises embarrassingly across
+cores.  ``parallel_map`` runs a module-level function over a list of
+kwargs dicts, in-process by default (deterministic, debuggable) or in a
+process pool when requested.
+
+Select the worker count with the ``REPRO_WORKERS`` environment variable
+(``0``/unset = serial; ``N`` = pool of N processes; ``auto`` = one per
+core, capped by the task count)::
+
+    REPRO_WORKERS=auto python -m repro.experiments.runner fig5
+    REPRO_WORKERS=8 pytest benchmarks/test_bench_fig5.py --benchmark-only
+
+The task function must be importable (module-level, not a closure) and
+its kwargs picklable -- pass scale objects and seeds, rebuild systems
+inside the task.  Results are returned in task order regardless of
+completion order, so parallel and serial runs produce identical output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+def worker_count(n_tasks: int, workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    Args:
+        n_tasks: number of independent tasks.
+        workers: explicit count; None consults ``REPRO_WORKERS``.
+
+    Returns:
+        0 for serial execution, otherwise the pool size.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "0").strip().lower()
+        if raw in ("", "0", "none"):
+            return 0
+        if raw == "auto":
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}"
+                ) from None
+    if workers <= 1:
+        return 0
+    return min(workers, n_tasks)
+
+
+def _invoke(payload):
+    fn, kwargs = payload
+    return fn(**kwargs)
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    kwargs_list: Sequence[Dict[str, Any]],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``fn(**kw)`` for every kw, possibly across processes.
+
+    Serial when the resolved worker count is 0 or there is at most one
+    task.  Uses the ``spawn`` start method for portability (no
+    inherited simulator state).
+    """
+    n = worker_count(len(kwargs_list), workers)
+    if n == 0 or len(kwargs_list) <= 1:
+        return [fn(**kw) for kw in kwargs_list]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=n) as pool:
+        return pool.map(_invoke, [(fn, kw) for kw in kwargs_list])

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[float]],
+    width: int = 12,
+    precision: int = 4,
+) -> str:
+    """A labelled numeric matrix as aligned text."""
+    head = " " * 10 + "".join(f"{c:>{width}}" for c in col_labels)
+    lines = [head]
+    for label, row in zip(row_labels, values):
+        cells = "".join(f"{v:>{width}.{precision}f}" for v in row)
+        lines.append(f"{label:>10}{cells}")
+    return "\n".join(lines)
+
+
+def print_matrix(row_labels, col_labels, values, **kw) -> None:
+    print(format_matrix(row_labels, col_labels, values, **kw))
+
+
+def format_series_table(
+    series: Mapping[str, Sequence[float]],
+    bin_label: str = "bin",
+    max_rows: int = 40,
+    precision: int = 4,
+) -> str:
+    """Aligned columns, one per named series, downsampled to fit."""
+    names = list(series)
+    n = max(len(v) for v in series.values())
+    step = max(1, n // max_rows)
+    head = f"{bin_label:>6} " + " ".join(f"{nm:>12}" for nm in names)
+    lines = [head]
+    for i in range(0, n, step):
+        cells = []
+        for nm in names:
+            vals = series[nm]
+            cells.append(
+                f"{vals[i]:>12.{precision}f}" if i < len(vals) else " " * 12
+            )
+        lines.append(f"{i:>6} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def print_series_table(series, **kw) -> None:
+    print(format_series_table(series, **kw))
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse one-line chart (useful in terminal reports)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    n = len(values)
+    step = max(1, n // width)
+    sampled = [max(values[i : i + step]) for i in range(0, n, step)]
+    hi = max(sampled)
+    if hi <= 0:
+        return " " * len(sampled)
+    return "".join(blocks[min(8, int(v / hi * 8))] for v in sampled)
+
+
+def format_summary(summary: Mapping[str, float], title: str = "") -> str:
+    lines = [title] if title else []
+    for k, v in summary.items():
+        lines.append(f"  {k:<24} {v:,.4f}")
+    return "\n".join(lines)

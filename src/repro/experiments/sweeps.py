@@ -1,0 +1,116 @@
+"""Generic parameter sweeps over the protocol's knobs.
+
+The paper hand-picks a handful of parameter points (Rfact in the churn
+study, cache/Rmap growth in Fig. 9).  :func:`sweep` generalises that:
+run the same workload across any set of :class:`SystemConfig` field
+values and collect the summaries -- the one-liner behind sensitivity
+studies like "how does l_high affect drop rate vs replica churn?".
+
+Sweep points are independent runs, so they parallelise via
+``REPRO_WORKERS`` like every other campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.analysis.summary import run_summary
+from repro.cluster.config import SystemConfig
+from repro.experiments.common import (
+    Scale,
+    build,
+    get_scale,
+    make_ns,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.experiments.parallel import parallel_map
+from repro.workload.streams import cuzipf_stream
+
+_VALID_FIELDS = {f.name for f in dataclasses.fields(SystemConfig)}
+
+
+def sweep_point(
+    scale: Scale,
+    field: str,
+    value: Any,
+    preset: str,
+    utilization: float,
+    alpha: float,
+    seed: int,
+) -> Tuple[Any, Dict[str, float]]:
+    """One sweep point -- picklable task unit."""
+    ns = make_ns(scale)
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    spec = cuzipf_stream(
+        rate, alpha, warmup=scale.warmup, phase=scale.phase,
+        n_phases=scale.n_phases, seed=seed,
+    )
+    system = build(ns, scale, preset=preset, seed=seed, **{field: value})
+    run_workload(system, spec, drain=scale.drain)
+    return value, run_summary(system)
+
+
+def sweep(
+    field: str,
+    values: Sequence[Any],
+    scale: Optional[Scale] = None,
+    preset: str = "BCR",
+    utilization: float = 0.4,
+    alpha: float = 1.0,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> Dict[Any, Dict[str, float]]:
+    """Run the standard workload once per value of ``field``.
+
+    Args:
+        field: any :class:`SystemConfig` field name (validated).
+        values: the values to sweep.
+
+    Returns:
+        ``{value: run_summary}`` in the order given.
+
+    Raises:
+        ValueError: for an unknown config field or empty values.
+    """
+    if field not in _VALID_FIELDS:
+        raise ValueError(
+            f"unknown SystemConfig field {field!r}; "
+            f"valid fields include e.g. l_high, rfact, rmap, cache_slots"
+        )
+    if not values:
+        raise ValueError("values must be non-empty")
+    scale = scale or get_scale()
+    tasks = [
+        dict(scale=scale, field=field, value=v, preset=preset,
+             utilization=utilization, alpha=alpha, seed=seed)
+        for v in values
+    ]
+    out: Dict[Any, Dict[str, float]] = {}
+    for value, summary in parallel_map(sweep_point, tasks, workers):
+        out[value] = summary
+    return out
+
+
+def main() -> None:  # pragma: no cover
+    import sys
+
+    field = sys.argv[1] if len(sys.argv) > 1 else "l_high"
+    raw = sys.argv[2:] or ["0.5", "0.7", "0.9"]
+    values = [float(v) for v in raw]
+    results = sweep(field, values)
+    print(f"sweep over {field}")
+    print(f"{field:>10} {'drop%':>8} {'latency(ms)':>12} {'replicas':>9} "
+          f"{'stale%':>7}")
+    for v, s in results.items():
+        print(f"{v:>10} {100 * s['drop_fraction']:>8.3f} "
+              f"{1000 * s['mean_latency']:>12.1f} "
+              f"{s['replicas_created']:>9.0f} "
+              f"{100 * s['stale_hop_rate']:>7.3f}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Table 1: audit a live system against the server-node state matrix.
+
+After driving a workload (so caches fill and replicas exist), every
+peer is audited: each node it has any state for is classified (owned /
+replicated / neighboring / cached) and the maintained state columns are
+checked against the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.common import (
+    Scale,
+    build,
+    get_scale,
+    make_ns,
+    rate_for_utilization,
+    run_workload,
+)
+from repro.server.state import Relationship, audit_peer
+from repro.workload.streams import cuzipf_stream
+
+
+def run_table1(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    seed: int = 0,
+) -> Dict[str, int]:
+    """Audit all peers; returns aggregate node counts per relationship.
+
+    Raises:
+        AssertionError: if any peer maintains state deviating from
+            Table 1 (too much or missing mandatory columns).
+    """
+    scale = scale or get_scale()
+    ns = make_ns(scale)
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    spec = cuzipf_stream(
+        rate, 1.0, warmup=scale.warmup, phase=scale.phase,
+        n_phases=2, seed=seed,
+    )
+    system = build(ns, scale, preset="BCR", seed=seed)
+    run_workload(system, spec, drain=scale.drain)
+
+    totals: Dict[Relationship, int] = {r: 0 for r in Relationship}
+    for peer in system.peers:
+        for rel, count in audit_peer(peer).items():
+            totals[rel] += count
+    return {rel.value: count for rel, count in totals.items()}
+
+
+def main() -> None:  # pragma: no cover
+    counts = run_table1()
+    print("Table 1 audit -- nodes per server-node relationship (all servers)")
+    for rel, count in counts.items():
+        print(f"{rel:>12}: {count}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

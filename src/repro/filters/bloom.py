@@ -1,0 +1,171 @@
+"""A from-scratch Bloom filter over integer keys.
+
+The bit vector is a list of 64-bit words, so membership tests touch
+only machine-word ints (Python big-int shifts would dominate the
+simulator's routing hot path).  A *snapshot* is the tuple of words:
+immutable, cheap to share, and exactly what soft-state digest
+dissemination needs -- a server piggybacks its current snapshot on a
+message and remote copies go stale independently at zero copy cost.
+
+Hash family: double hashing over two splitmix64-style mixes,
+``h_i(x) = (h1(x) + i * h2(x)) mod m`` -- the Kirsch-Mitzenmacher
+construction, which preserves the asymptotic false-positive rate of k
+independent hashes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+_MASK64 = (1 << 64) - 1
+
+Snapshot = Tuple[int, ...]
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 scramble round (avalanching 64-bit mix)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def optimal_bits(capacity: int, fp_rate: float) -> int:
+    """Bit count m for a target false-positive rate at ``capacity`` items."""
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError("fp_rate must be in (0, 1)")
+    m = -capacity * math.log(fp_rate) / (math.log(2) ** 2)
+    return max(64, int(math.ceil(m / 64.0)) * 64)
+
+
+def optimal_hashes(bits: int, capacity: int) -> int:
+    """Hash count k minimising the false-positive rate."""
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    k = bits / capacity * math.log(2)
+    return max(1, min(8, int(round(k))))
+
+
+class BloomFilter:
+    """Bloom filter over non-negative integer keys.
+
+    >>> bf = BloomFilter.with_capacity(100, fp_rate=0.01)
+    >>> bf.add(42)
+    >>> 42 in bf
+    True
+    """
+
+    __slots__ = ("n_bits", "n_hashes", "words", "n_items", "_salt", "pos_cache")
+
+    def __init__(self, n_bits: int, n_hashes: int, salt: int = 0) -> None:
+        if n_bits < 1:
+            raise ValueError("n_bits must be >= 1")
+        if n_hashes < 1:
+            raise ValueError("n_hashes must be >= 1")
+        # round up to whole words
+        self.n_bits = ((n_bits + 63) // 64) * 64
+        self.n_hashes = n_hashes
+        self.words: List[int] = [0] * (self.n_bits // 64)
+        self.n_items = 0
+        self._salt = salt & _MASK64
+        # key -> tuple of bit positions; share one dict across all
+        # same-geometry filters (the simulator probes the same node ids
+        # against many digests, so hashing each id once ever pays off)
+        self.pos_cache: dict = {}
+
+    def share_cache_with(self, other: "BloomFilter") -> None:
+        """Share the position cache of ``other`` (requires same geometry)."""
+        if (self.n_bits, self.n_hashes, self._salt) != (
+            other.n_bits,
+            other.n_hashes,
+            other._salt,
+        ):
+            raise ValueError("geometry mismatch; cannot share position cache")
+        self.pos_cache = other.pos_cache
+
+    def _positions(self, key: int) -> Tuple[int, ...]:
+        """Cached bit positions for ``key``."""
+        pos = self.pos_cache.get(key)
+        if pos is None:
+            h1, h2 = self._hash_pair(key)
+            m = self.n_bits
+            out = []
+            for _ in range(self.n_hashes):
+                out.append(h1 % m)
+                h1 = (h1 + h2) & _MASK64
+            pos = tuple(out)
+            self.pos_cache[key] = pos
+        return pos
+
+    @classmethod
+    def with_capacity(
+        cls, capacity: int, fp_rate: float = 0.01, salt: int = 0
+    ) -> "BloomFilter":
+        """Size a filter for ``capacity`` items at the given FP rate."""
+        m = optimal_bits(capacity, fp_rate)
+        return cls(m, optimal_hashes(m, capacity), salt=salt)
+
+    def _hash_pair(self, key: int) -> Tuple[int, int]:
+        h1 = _splitmix64(key ^ self._salt)
+        h2 = _splitmix64(h1) | 1  # odd step avoids short cycles
+        return h1, h2
+
+    def add(self, key: int) -> None:
+        """Insert an integer key."""
+        words = self.words
+        for pos in self._positions(key):
+            words[pos >> 6] |= 1 << (pos & 63)
+        self.n_items += 1
+
+    def update(self, keys: Iterable[int]) -> None:
+        for k in keys:
+            self.add(k)
+
+    def __contains__(self, key: int) -> bool:
+        words = self.words
+        for pos in self._positions(key):
+            if not (words[pos >> 6] >> (pos & 63)) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Remove all items (Bloom filters do not support point deletion)."""
+        self.words = [0] * (self.n_bits // 64)
+        self.n_items = 0
+
+    def snapshot(self) -> Snapshot:
+        """An immutable copy of the bit vector (tuple of 64-bit words)."""
+        return tuple(self.words)
+
+    def test_snapshot(self, snapshot_words: Snapshot, key: int) -> bool:
+        """Test ``key`` against a previously taken :meth:`snapshot`."""
+        for pos in self._positions(key):
+            if not (snapshot_words[pos >> 6] >> (pos & 63)) & 1:
+                return False
+        return True
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set (saturation indicator)."""
+        set_bits = sum(bin(w).count("1") for w in self.words)
+        return set_bits / self.n_bits
+
+    def expected_fp_rate(self) -> float:
+        """FP rate estimate from the actual fill ratio."""
+        return self.fill_ratio**self.n_hashes
+
+    def __or__(self, other: "BloomFilter") -> "BloomFilter":
+        """Union of two filters with identical geometry."""
+        if (self.n_bits, self.n_hashes, self._salt) != (
+            other.n_bits,
+            other.n_hashes,
+            other._salt,
+        ):
+            raise ValueError("cannot union Bloom filters of differing geometry")
+        out = BloomFilter(self.n_bits, self.n_hashes, salt=self._salt)
+        out.words = [a | b for a, b in zip(self.words, other.words)]
+        out.n_items = self.n_items + other.n_items
+        return out

@@ -1,0 +1,194 @@
+"""Namespace generators for the paper's two evaluation namespaces.
+
+* :func:`balanced_tree` -- the synthetic N_S namespace: a perfectly
+  balanced k-ary tree (the paper uses a binary tree with levels 0..14,
+  i.e. 32,767 nodes).
+* :func:`coda_like_tree` -- stands in for the paper's N_C namespace, the
+  file tree of the Coda server *barber* (January 1993 trace).  We do not
+  have that trace; this generator produces a deterministic synthetic
+  file-system-shaped tree instead (see DESIGN.md, substitutions).
+* :func:`random_tree` -- uniform random recursive tree, useful in tests.
+* :func:`university_tree` -- the 11-node example of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.namespace.tree import Namespace, NamespaceBuilder
+
+
+def balanced_tree(levels: int, arity: int = 2) -> Namespace:
+    """A perfectly balanced ``arity``-ary tree with depths ``0..levels``.
+
+    ``balanced_tree(14)`` reproduces the paper's N_S namespace:
+    ``2**15 - 1 == 32767`` nodes.
+
+    Args:
+        levels: depth of the deepest level (the root is level 0).
+        arity: children per internal node.
+    """
+    if levels < 0:
+        raise ValueError("levels must be >= 0")
+    if arity < 1:
+        raise ValueError("arity must be >= 1")
+    b = NamespaceBuilder()
+    frontier = [0]
+    for _ in range(levels):
+        nxt: List[int] = []
+        for p in frontier:
+            for i in range(arity):
+                nxt.append(b.add_child(p, f"n{i}"))
+        frontier = nxt
+    return b.build()
+
+
+def path_tree(length: int) -> Namespace:
+    """A degenerate single-path tree of the given depth (worst-case shape)."""
+    b = NamespaceBuilder()
+    node = 0
+    for i in range(length):
+        node = b.add_child(node, f"p{i}")
+    return b.build()
+
+
+def random_tree(n_nodes: int, seed: int = 0, attach_power: float = 0.0) -> Namespace:
+    """A random recursive tree with ``n_nodes`` nodes.
+
+    Each new node attaches to an existing node chosen uniformly at
+    random (``attach_power == 0``) or with probability proportional to
+    ``(1 + degree)**attach_power`` (preferential attachment, producing
+    heavier fan-out skew).
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    rng = random.Random(seed)
+    b = NamespaceBuilder()
+    degrees = [0]
+    for v in range(1, n_nodes):
+        if attach_power <= 0.0:
+            parent = rng.randrange(v)
+        else:
+            weights = [(1.0 + d) ** attach_power for d in degrees]
+            parent = rng.choices(range(v), weights=weights, k=1)[0]
+        b.add_child(parent, f"n{v}")
+        degrees[parent] += 1
+        degrees.append(0)
+    return b.build()
+
+
+def coda_like_tree(
+    n_nodes: int = 73752,
+    seed: int = 1993,
+    mean_fanout: float = 9.0,
+    max_depth: int = 16,
+    dir_fraction: float = 0.22,
+) -> Namespace:
+    """A synthetic file-system-shaped namespace (stand-in for Coda N_C).
+
+    The generator grows directories breadth-first.  Each directory gets
+    a geometrically distributed number of entries (mean ``mean_fanout``)
+    of which a fraction ``dir_fraction`` are subdirectories, producing
+    the deep, fan-out-skewed shape typical of file servers: most nodes
+    are leaves (files), internal nodes have highly variable degree, and
+    the depth profile is unimodal around depth 6-9 rather than placing
+    half the nodes at the deepest level like a balanced binary tree.
+
+    That shape difference is exactly what the paper's N_S/N_C contrast
+    exercises (caching behaves differently on the two namespaces in
+    Fig. 5; the per-level replica profile differs).
+
+    Args:
+        n_nodes: total node count target (exact in the returned tree).
+        seed: RNG seed; the tree is deterministic given the arguments.
+        mean_fanout: mean entries per directory.
+        max_depth: directories below this depth produce only files.
+        dir_fraction: fraction of directory entries that are directories.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    rng = random.Random(seed)
+    b = NamespaceBuilder()
+    # frontier of (node, depth) directories still accepting children
+    frontier: List[tuple] = [(0, 0)]
+    count = 1
+    serial = 0
+    while count < n_nodes:
+        if not frontier:
+            # namespace closed early: reopen a random existing node
+            frontier.append((rng.randrange(count), max_depth // 2))
+        idx = rng.randrange(len(frontier))
+        node, depth = frontier.pop(idx)
+        # geometric fan-out with mean `mean_fanout`
+        p = 1.0 / mean_fanout
+        fanout = 1
+        while rng.random() > p and fanout < 4 * mean_fanout:
+            fanout += 1
+        for _ in range(fanout):
+            if count >= n_nodes:
+                break
+            serial += 1
+            is_dir = depth < max_depth and rng.random() < dir_fraction
+            label = (f"d{serial}" if is_dir else f"f{serial}")
+            child = b.add_child(node, label)
+            count += 1
+            if is_dir:
+                frontier.append((child, depth + 1))
+    return b.build()
+
+
+def university_tree() -> Namespace:
+    """The 11-node example namespace of the paper's Fig. 1/Fig. 2.
+
+    ::
+
+        /university
+          /university/public
+            /university/public/people
+              .../faculty   (John, Steve under students in Fig.2)
+              .../students  (John, Steve)
+          /university/private
+            /university/private/people
+              .../staff   (Ann, Mary)
+              .../faculty (Lisa)
+    """
+    b = NamespaceBuilder()
+    for name in (
+        "/university",
+        "/university/public",
+        "/university/public/people",
+        "/university/public/people/faculty",
+        "/university/public/people/students",
+        "/university/public/people/students/John",
+        "/university/public/people/students/Steve",
+        "/university/private",
+        "/university/private/people",
+        "/university/private/people/staff",
+        "/university/private/people/staff/Ann",
+        "/university/private/people/staff/Mary",
+        "/university/private/people/faculty",
+        "/university/private/people/faculty/Lisa",
+    ):
+        b.add_path(name)
+    return b.build()
+
+
+def assign_nodes_to_servers(
+    ns: Namespace, n_servers: int, seed: int = 0
+) -> List[int]:
+    """Uniform-random node-to-server mapping (paper section 4.1).
+
+    Returns ``owner[node_id] -> server_id``.  Every server owns at least
+    one node when ``n_servers <= len(ns)`` (assignment is a random
+    balanced partition: node counts per server differ by at most one).
+    """
+    if n_servers < 1:
+        raise ValueError("n_servers must be >= 1")
+    rng = random.Random(seed)
+    ids = list(range(len(ns)))
+    rng.shuffle(ids)
+    owner = [0] * len(ns)
+    for i, v in enumerate(ids):
+        owner[v] = i % n_servers
+    return owner

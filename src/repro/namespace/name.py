@@ -1,0 +1,98 @@
+"""Fully-qualified hierarchical names.
+
+TerraDir names look like Unix paths: ``/university/public/people``.
+The root of every namespace is the name ``/``.  These helpers are pure
+string manipulation; the simulator itself works with integer node ids
+(see :mod:`repro.namespace.tree`) and only materialises names at the
+API boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+ROOT_NAME = "/"
+
+_SEPARATOR = "/"
+
+
+class InvalidNameError(ValueError):
+    """Raised when a string is not a valid fully-qualified name."""
+
+
+def validate_name(name: str) -> str:
+    """Return ``name`` if it is a valid fully-qualified hierarchical name.
+
+    A valid name is ``/`` or starts with ``/``, has no empty components,
+    no trailing separator, and no component equal to ``.`` or ``..``.
+
+    Raises:
+        InvalidNameError: if the name is malformed.
+    """
+    if name == ROOT_NAME:
+        return name
+    if not name or not name.startswith(_SEPARATOR):
+        raise InvalidNameError(f"name must be absolute (start with '/'): {name!r}")
+    if name.endswith(_SEPARATOR):
+        raise InvalidNameError(f"name must not end with '/': {name!r}")
+    for comp in name[1:].split(_SEPARATOR):
+        if not comp:
+            raise InvalidNameError(f"empty component in {name!r}")
+        if comp in (".", ".."):
+            raise InvalidNameError(f"relative component {comp!r} in {name!r}")
+    return name
+
+
+def split(name: str) -> Tuple[str, ...]:
+    """Split a validated name into its components (root splits to ``()``)."""
+    if name == ROOT_NAME:
+        return ()
+    return tuple(name[1:].split(_SEPARATOR))
+
+
+def join(*components: str) -> str:
+    """Join components into a fully-qualified name (``join()`` is the root)."""
+    if not components:
+        return ROOT_NAME
+    return _SEPARATOR + _SEPARATOR.join(components)
+
+
+def parent_name(name: str) -> str:
+    """Return the parent of ``name``; the root's parent is itself."""
+    if name == ROOT_NAME:
+        return ROOT_NAME
+    idx = name.rfind(_SEPARATOR)
+    return name[:idx] if idx > 0 else ROOT_NAME
+
+
+def basename(name: str) -> str:
+    """Return the last component of ``name`` (empty string for the root)."""
+    if name == ROOT_NAME:
+        return ""
+    return name[name.rfind(_SEPARATOR) + 1 :]
+
+
+def ancestors_of_name(name: str) -> List[str]:
+    """All ancestors of ``name`` from the root down to ``name`` inclusive.
+
+    This is the "prefix extraction" used when testing names against
+    inverse-mapping digests (paper section 3.6.1).
+    """
+    if name == ROOT_NAME:
+        return [ROOT_NAME]
+    out = [ROOT_NAME]
+    idx = name.find(_SEPARATOR, 1)
+    while idx != -1:
+        out.append(name[:idx])
+        idx = name.find(_SEPARATOR, idx + 1)
+    out.append(name)
+    return out
+
+
+def is_prefix(ancestor: str, name: str) -> bool:
+    """True if ``ancestor`` is ``name`` or a proper namespace ancestor of it."""
+    if ancestor == ROOT_NAME:
+        return True
+    if ancestor == name:
+        return True
+    return name.startswith(ancestor + _SEPARATOR)

@@ -1,0 +1,248 @@
+"""Dense-integer representation of a TerraDir namespace tree.
+
+The routing hot path computes thousands of namespace distances per
+simulated second, so the tree is stored as flat parallel lists indexed
+by node id:
+
+* ``parent[v]``   -- parent id (root's parent is itself),
+* ``depth[v]``    -- distance from the root,
+* ``children[v]`` -- tuple of child ids,
+* ``anc[v]``      -- ancestor chain ``(root, ..., v)`` as a tuple.
+
+Names are materialised lazily; nothing on the hot path touches strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.namespace.name import ROOT_NAME, join, split, validate_name
+
+ROOT = 0
+
+
+class NamespaceBuilder:
+    """Incrementally build a :class:`Namespace`.
+
+    Nodes must be added parent-before-child; the root exists implicitly.
+
+    >>> b = NamespaceBuilder()
+    >>> u = b.add_child(0, "university")
+    >>> pub = b.add_child(u, "public")
+    >>> ns = b.build()
+    >>> ns.name_of(pub)
+    '/university/public'
+    """
+
+    def __init__(self) -> None:
+        self._parent: List[int] = [ROOT]
+        self._label: List[str] = [""]
+        self._children: List[List[int]] = [[]]
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add_child(self, parent: int, label: str) -> int:
+        """Add a child with component ``label`` under ``parent``; return its id."""
+        if not 0 <= parent < len(self._parent):
+            raise IndexError(f"unknown parent id {parent}")
+        if not label or "/" in label:
+            raise ValueError(f"invalid component label {label!r}")
+        node = len(self._parent)
+        self._parent.append(parent)
+        self._label.append(label)
+        self._children.append([])
+        self._children[parent].append(node)
+        return node
+
+    def add_path(self, name: str) -> int:
+        """Ensure every node on ``name``'s path exists; return the final id.
+
+        Unlike :meth:`add_child` this deduplicates: adding the same path
+        twice returns the same node id.
+        """
+        validate_name(name)
+        node = ROOT
+        for comp in split(name):
+            for child in self._children[node]:
+                if self._label[child] == comp:
+                    node = child
+                    break
+            else:
+                node = self.add_child(node, comp)
+        return node
+
+    def build(self) -> "Namespace":
+        return Namespace(self._parent, self._label, self._children)
+
+
+class Namespace:
+    """An immutable rooted tree of hierarchical names.
+
+    Attributes:
+        parent: flat parent-id list (``parent[0] == 0``).
+        depth: flat depth list (``depth[0] == 0``).
+        children: per-node tuple of child ids.
+        anc: per-node ancestor chain from the root to the node, inclusive.
+    """
+
+    __slots__ = (
+        "parent",
+        "depth",
+        "children",
+        "anc",
+        "_label",
+        "_names",
+        "_name_index",
+        "n_leaves",
+        "max_depth",
+    )
+
+    def __init__(
+        self,
+        parent: Sequence[int],
+        label: Sequence[str],
+        children: Sequence[Sequence[int]],
+    ) -> None:
+        n = len(parent)
+        if n == 0 or parent[ROOT] != ROOT:
+            raise ValueError("namespace must contain a root whose parent is itself")
+        self.parent: Tuple[int, ...] = tuple(parent)
+        self._label: Tuple[str, ...] = tuple(label)
+        self.children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(c) for c in children
+        )
+        depth = [0] * n
+        anc: List[Tuple[int, ...]] = [()] * n
+        anc[ROOT] = (ROOT,)
+        # parent-before-child ordering is guaranteed by NamespaceBuilder
+        for v in range(1, n):
+            p = parent[v]
+            if p >= v:
+                raise ValueError("nodes must be ordered parent-before-child")
+            depth[v] = depth[p] + 1
+            anc[v] = anc[p] + (v,)
+        self.depth: Tuple[int, ...] = tuple(depth)
+        self.anc: Tuple[Tuple[int, ...], ...] = tuple(anc)
+        self.max_depth: int = max(depth)
+        self.n_leaves: int = sum(1 for c in self.children if not c)
+        self._names: Optional[Tuple[str, ...]] = None
+        self._name_index: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self.parent)))
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Parent plus children of ``v`` (the node's routing context)."""
+        if v == ROOT:
+            return self.children[v]
+        return (self.parent[v],) + self.children[v]
+
+    def is_leaf(self, v: int) -> bool:
+        return not self.children[v]
+
+    def nodes_at_depth(self, d: int) -> List[int]:
+        return [v for v in range(len(self.parent)) if self.depth[v] == d]
+
+    # ------------------------------------------------------------------
+    # names
+    # ------------------------------------------------------------------
+
+    def _materialise_names(self) -> Tuple[str, ...]:
+        if self._names is None:
+            names = [""] * len(self.parent)
+            names[ROOT] = ROOT_NAME
+            for v in range(1, len(self.parent)):
+                names[v] = join(*(self._label[u] for u in self.anc[v][1:]))
+            self._names = tuple(names)
+            self._name_index = {nm: v for v, nm in enumerate(self._names)}
+        return self._names
+
+    def name_of(self, v: int) -> str:
+        """The fully-qualified name of node ``v``."""
+        return self._materialise_names()[v]
+
+    def id_of(self, name: str) -> int:
+        """The node id of a fully-qualified name.
+
+        Raises:
+            KeyError: if the name does not exist in this namespace.
+        """
+        self._materialise_names()
+        assert self._name_index is not None
+        return self._name_index[validate_name(name)]
+
+    def label_of(self, v: int) -> str:
+        """The last path component of node ``v`` (empty for the root)."""
+        return self._label[v]
+
+    # ------------------------------------------------------------------
+    # tree metrics (the routing hot path)
+    # ------------------------------------------------------------------
+
+    def lca_depth(self, a: int, b: int) -> int:
+        """Depth of the lowest common ancestor of ``a`` and ``b``."""
+        aa, ab = self.anc[a], self.anc[b]
+        # common prefix scan; element 0 (the root) always matches
+        n = min(len(aa), len(ab))
+        d = 0
+        while d < n and aa[d] == ab[d]:
+            d += 1
+        return d - 1
+
+    def lca(self, a: int, b: int) -> int:
+        """The lowest common ancestor of ``a`` and ``b``."""
+        return self.anc[a][self.lca_depth(a, b)]
+
+    def distance(self, a: int, b: int) -> int:
+        """Namespace (tree) distance between ``a`` and ``b``."""
+        return self.depth[a] + self.depth[b] - 2 * self.lca_depth(a, b)
+
+    def is_ancestor(self, a: int, b: int) -> bool:
+        """True if ``a`` is ``b`` or a proper ancestor of ``b``."""
+        ab = self.anc[b]
+        da = self.depth[a]
+        return da < len(ab) and ab[da] == a
+
+    def route_path(self, src: int, dst: int) -> List[int]:
+        """The canonical up-then-down node path from ``src`` to ``dst``.
+
+        This is the route the *base* protocol follows when no caches,
+        replicas, or digests provide a shortcut (paper section 2.2.1).
+        """
+        ld = self.lca_depth(src, dst)
+        up = [self.anc[src][d] for d in range(self.depth[src], ld - 1, -1)]
+        down = [self.anc[dst][d] for d in range(ld + 1, self.depth[dst] + 1)]
+        return up + down
+
+    def subtree(self, v: int) -> List[int]:
+        """All ids in the subtree rooted at ``v`` (preorder)."""
+        out: List[int] = []
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            out.append(u)
+            stack.extend(reversed(self.children[u]))
+        return out
+
+    def level_sizes(self) -> List[int]:
+        """Node count per depth level, index = depth."""
+        sizes = [0] * (self.max_depth + 1)
+        for d in self.depth:
+            sizes[d] += 1
+        return sizes
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "Namespace":
+        """Build a namespace containing every name in ``names`` (plus ancestors)."""
+        b = NamespaceBuilder()
+        for nm in names:
+            b.add_path(nm)
+        return b.build()

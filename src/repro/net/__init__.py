@@ -1,0 +1,27 @@
+"""Network substrate: message types and constant-latency transport."""
+
+from repro.net.message import (
+    Advertisement,
+    ControlKind,
+    ProbeMessage,
+    ProbeReplyMessage,
+    QueryMessage,
+    ResponseMessage,
+    TransferAckMessage,
+    TransferMessage,
+    ReplicaPayload,
+)
+from repro.net.transport import Transport
+
+__all__ = [
+    "Advertisement",
+    "ControlKind",
+    "ProbeMessage",
+    "ProbeReplyMessage",
+    "QueryMessage",
+    "ReplicaPayload",
+    "ResponseMessage",
+    "TransferAckMessage",
+    "TransferMessage",
+    "Transport",
+]

@@ -1,0 +1,109 @@
+"""Constant-latency message transport.
+
+The paper's methodology fixes the application-layer network time at a
+constant per hop and explicitly does not model network contention; the
+transport therefore only delays delivery by ``net_delay`` and invokes
+the destination server's handler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.rng import exponential
+
+
+class Transport:
+    """Delivers messages between servers with a fixed one-way delay.
+
+    Supports fail-stop server failures: messages addressed to a failed
+    server are silently lost (after notifying the optional ``on_lost``
+    hook so the system can account for vanished queries).  Failure is
+    checked both at send time and at delivery time, so messages already
+    in flight when the server dies are lost too.
+    """
+
+    __slots__ = (
+        "engine",
+        "net_delay",
+        "net_jitter",
+        "_jitter_rng",
+        "_endpoints",
+        "failed",
+        "on_lost",
+        "n_sent",
+        "n_control_sent",
+        "n_lost",
+    )
+
+    def __init__(self, engine: Engine, net_delay: float,
+                 net_jitter: float = 0.0, jitter_seed: int = 0) -> None:
+        if net_delay < 0:
+            raise ValueError("net_delay must be >= 0")
+        if net_jitter < 0:
+            raise ValueError("net_jitter must be >= 0")
+        self.engine = engine
+        self.net_delay = net_delay
+        self.net_jitter = net_jitter
+        self._jitter_rng = random.Random(jitter_seed ^ 0x31AB5)
+        self._endpoints: Dict[int, Callable[[Any], None]] = {}
+        self.failed: set = set()
+        self.on_lost: Callable[[int, Any], None] = None  # type: ignore
+        self.n_sent = 0
+        self.n_control_sent = 0
+        self.n_lost = 0
+
+    def register(self, server_id: int, handler: Callable[[Any], None]) -> None:
+        """Register a server's delivery handler."""
+        if server_id in self._endpoints:
+            raise ValueError(f"server {server_id} already registered")
+        self._endpoints[server_id] = handler
+
+    def send(self, dest: int, msg: Any, control: bool = False) -> None:
+        """Schedule delivery of ``msg`` at ``dest`` after ``net_delay``.
+
+        Args:
+            control: marks replication-protocol traffic (counted
+                separately to validate the paper's claim that control
+                traffic is >=100x rarer than queries).
+        """
+        handler = self._endpoints.get(dest)
+        if handler is None:
+            raise KeyError(f"no server registered with id {dest}")
+        if dest in self.failed:
+            self._lose(dest, msg)
+            return
+        if control:
+            self.n_control_sent += 1
+        else:
+            self.n_sent += 1
+        delay = self.net_delay
+        if self.net_jitter > 0:
+            delay += exponential(self._jitter_rng, self.net_jitter)
+        self.engine.schedule_after(delay, self._deliver, dest, msg)
+
+    def _deliver(self, dest: int, msg: Any) -> None:
+        if dest in self.failed:
+            self._lose(dest, msg)
+            return
+        self._endpoints[dest](msg)
+
+    def _lose(self, dest: int, msg: Any) -> None:
+        self.n_lost += 1
+        if self.on_lost is not None:
+            self.on_lost(dest, msg)
+
+    def fail_server(self, server_id: int) -> None:
+        """Fail-stop ``server_id``: all traffic to it is lost."""
+        if server_id not in self._endpoints:
+            raise KeyError(f"no server registered with id {server_id}")
+        self.failed.add(server_id)
+
+    def recover_server(self, server_id: int) -> None:
+        self.failed.discard(server_id)
+
+    @property
+    def n_servers(self) -> int:
+        return len(self._endpoints)

@@ -1,0 +1,14 @@
+"""The TerraDir server (peer) model: queueing, state, caching."""
+
+from repro.server.cache import LRUCache
+from repro.server.peer import Peer, Replica
+from repro.server.state import Relationship, relationship_of, state_kinds
+
+__all__ = [
+    "LRUCache",
+    "Peer",
+    "Relationship",
+    "Replica",
+    "relationship_of",
+    "state_kinds",
+]

@@ -1,0 +1,128 @@
+"""LRU cache of node maps (paper section 2.4).
+
+A cache entry for a node consists solely of some mapping for that node:
+a bounded list of servers believed to host it.  Cache entries lack
+routing context -- a hit cannot resolve a query by itself, it only
+supplies a shortcut pointer.  Entries are replaced LRU, touched
+whenever used in routing, and populated by *path propagation*: every
+server along a query's path caches the path walked so far.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+class LRUCache:
+    """Bounded LRU map from node id to a node map (list of server ids).
+
+    >>> c = LRUCache(capacity=2, rmap=4)
+    >>> c.put(1, [10]); c.put(2, [20]); c.put(3, [30])
+    >>> c.get(1) is None  # evicted
+    True
+    """
+
+    __slots__ = ("capacity", "rmap", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int, rmap: int = 4) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if rmap < 1:
+            raise ValueError("rmap must be >= 1")
+        self.capacity = capacity
+        self.rmap = rmap
+        self._entries: "OrderedDict[int, List[int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._entries
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate cached node ids (no LRU touch)."""
+        return iter(self._entries.keys())
+
+    def items(self) -> Iterator[Tuple[int, List[int]]]:
+        return iter(self._entries.items())
+
+    def peek(self, node: int) -> Optional[List[int]]:
+        """Read an entry without touching LRU order or hit counters."""
+        return self._entries.get(node)
+
+    def get(self, node: int) -> Optional[List[int]]:
+        """Read an entry, marking it most-recently-used."""
+        entry = self._entries.get(node)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(node)
+        self.hits += 1
+        return entry
+
+    def touch(self, node: int) -> None:
+        """Mark as most-recently-used (an entry 'used in routing')."""
+        if node in self._entries:
+            self._entries.move_to_end(node)
+
+    def put(self, node: int, servers: Sequence[int]) -> None:
+        """Insert or extend an entry (union, bounded by ``rmap``).
+
+        The merged entry keeps existing servers and appends new ones up
+        to ``rmap``; a fresh insert may evict the LRU entry.
+        """
+        if self.capacity == 0:
+            return
+        cur = self._entries.get(node)
+        if cur is not None:
+            for s in servers:
+                if s not in cur and len(cur) < self.rmap:
+                    cur.append(s)
+            self._entries.move_to_end(node)
+            return
+        entry: List[int] = []
+        for s in servers:
+            if s not in entry and len(entry) < self.rmap:
+                entry.append(s)
+        if not entry:
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[node] = entry
+
+    def replace(self, node: int, servers: List[int]) -> None:
+        """Overwrite an entry's map in place (post-merge/filter update)."""
+        if node in self._entries:
+            if servers:
+                self._entries[node] = servers[: self.rmap]
+            else:
+                del self._entries[node]
+
+    def remove(self, node: int) -> bool:
+        """Drop an entry (e.g. it proved stale); True if present."""
+        return self._entries.pop(node, None) is not None
+
+    def remove_server(self, node: int, server: int) -> None:
+        """Drop one stale server from an entry, dropping the entry if emptied."""
+        entry = self._entries.get(node)
+        if entry is None:
+            return
+        try:
+            entry.remove(server)
+        except ValueError:
+            return
+        if not entry:
+            del self._entries[node]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

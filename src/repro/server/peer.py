@@ -1,0 +1,639 @@
+"""The TerraDir server (peer).
+
+A peer owns a set of namespace nodes, may replicate others, and
+processes one query at a time from a bounded FIFO request queue
+(queries arriving in excess are dropped).  Per processed query it:
+
+1. absorbs piggybacked soft state (load samples, digest snapshots,
+   new-replica advertisements, path cache entries),
+2. makes one routing decision (:mod:`repro.core.routing`),
+3. forwards / resolves the query, piggybacking its own soft state, and
+4. checks its load against the high-water threshold, possibly opening a
+   replication session (:mod:`repro.core.replication`).
+
+Control traffic (replication probes/transfers/acks, back-propagated
+advertisements) and query responses bypass the request queue: they are
+rare, tiny, and the paper accounts for them separately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core import routing
+from repro.core.load import BusyWindowLoadMeter
+from repro.core.maps import merge_maps
+from repro.core.ranking import NodeRanking
+from repro.core.replication import ReplicationManager
+from repro.filters.digest import Digest, DigestDirectory
+from repro.net.message import (
+    Advertisement,
+    DataReply,
+    DataRequest,
+    ProbeMessage,
+    ProbeReplyMessage,
+    QueryMessage,
+    ReplicaPayload,
+    ResponseMessage,
+    TransferAckMessage,
+    TransferMessage,
+)
+from repro.namespace.meta import MetaStore, NodeMeta
+from repro.server.cache import LRUCache
+from repro.sim.rng import exponential
+
+
+class Replica:
+    """Soft state kept for one replicated node.
+
+    Replicas keep the newest meta-data version they have encountered
+    (and optionally a meta snapshot); only the owner mutates meta-data.
+    """
+
+    __slots__ = ("meta_version", "installed_at", "last_used", "meta")
+
+    def __init__(
+        self,
+        meta_version: int,
+        installed_at: float,
+        meta: "NodeMeta" = None,
+    ) -> None:
+        self.meta_version = meta_version
+        self.installed_at = installed_at
+        self.last_used = installed_at
+        self.meta = meta
+
+
+class AdvertMessage:
+    """Back-propagated new-replica notice (paper section 3.7).
+
+    When s1 forwards a query to s2 on behalf of node v and s1 recently
+    created replicas for v, s1 lets s2 know about them -- and vice
+    versa: we send it from the *processing* server back to the message
+    sender, off the critical path.
+    """
+
+    __slots__ = ("node", "servers")
+
+    def __init__(self, node: int, servers: List[int]) -> None:
+        self.node = node
+        self.servers = servers
+
+
+class Peer:
+    """One TerraDir server in a simulated system."""
+
+    __slots__ = (
+        "sid",
+        "sys",
+        "cfg",
+        "ns",
+        "rng",
+        "owned",
+        "replicas",
+        "hosted_list",
+        "maps",
+        "pin_refs",
+        "metadata",
+        "adverts_recent",
+        "cache",
+        "digest",
+        "digest_dir",
+        "known_loads",
+        "ranking",
+        "meter",
+        "queue",
+        "in_service",
+        "repl",
+        "n_processed",
+        "n_queue_drops",
+        "client_hooks",
+        "failed",
+        "service_mean",
+        "rfact",
+    )
+
+    def __init__(self, sid: int, system, owned: Iterable[int]) -> None:
+        self.sid = sid
+        self.sys = system
+        cfg = system.cfg
+        self.cfg = cfg
+        self.ns = system.ns
+        self.rng = system.rng_streams.stream(f"peer-{sid}")
+        self.owned = set(owned)
+        self.replicas: Dict[int, Replica] = {}
+        self.hosted_list: List[int] = list(self.owned)
+        self.maps: Dict[int, List[int]] = {}
+        self.pin_refs: Dict[int, int] = {}
+        self.metadata = MetaStore()
+        self.adverts_recent: Dict[int, Deque[int]] = {}
+        self.cache = LRUCache(
+            cfg.cache_slots if cfg.caching_enabled else 0, rmap=cfg.rmap
+        )
+        self.digest: Optional[Digest] = None  # wired by the builder
+        self.digest_dir: Optional[DigestDirectory] = None
+        self.known_loads: Dict[int, Tuple[float, float]] = {}
+        self.ranking = NodeRanking(decay=cfg.rank_decay)
+        self.meter = BusyWindowLoadMeter(window=cfg.load_window)
+        self.queue: Deque[QueryMessage] = deque()
+        self.in_service = False
+        self.repl = ReplicationManager(self)
+        self.n_processed = 0
+        self.n_queue_drops = 0
+        # client-layer completion callbacks: ("lookup", qid) / ("data", rid)
+        self.client_hooks: Dict[Tuple[str, int], object] = {}
+        self.failed = False
+        self.service_mean = cfg.service_mean  # builder may slow this peer
+        # "The replication factor need not be the same for all servers"
+        # (paper section 3.4): per-peer override, defaulting to config
+        self.rfact = cfg.rfact
+
+    # ------------------------------------------------------------------
+    # hosting state
+    # ------------------------------------------------------------------
+
+    def hosts(self, node: int) -> bool:
+        """True if this server owns or replicates ``node``."""
+        return node in self.owned or node in self.replicas
+
+    def iter_hosted(self) -> Iterator[int]:
+        """All hosted node ids (owned first, then replicas)."""
+        return iter(self.hosted_list)
+
+    @property
+    def n_hosted(self) -> int:
+        return len(self.owned) + len(self.replicas)
+
+    def pin(self, node: int, servers: Iterable[int]) -> None:
+        """Pin a neighbor map (routing context of a hosted node)."""
+        self.pin_refs[node] = self.pin_refs.get(node, 0) + 1
+        cur = self.maps.get(node)
+        if cur is None:
+            entry: List[int] = []
+            for s in servers:
+                if s not in entry and len(entry) < self.cfg.rmap:
+                    entry.append(s)
+            self.maps[node] = entry
+        else:
+            for s in servers:
+                if s not in cur and len(cur) < self.cfg.rmap:
+                    cur.append(s)
+
+    def unpin(self, node: int) -> None:
+        """Release one pin; the map demotes to a cache entry at zero refs.
+
+        Hosted nodes keep their map unconditionally: a node can be both
+        hosted and a (pinned) neighbor of another hosted node, and
+        losing the last pin must never strip hosted state.
+        """
+        refs = self.pin_refs.get(node, 0) - 1
+        if refs > 0:
+            self.pin_refs[node] = refs
+            return
+        self.pin_refs.pop(node, None)
+        if self.hosts(node):
+            return
+        entry = self.maps.pop(node, None)
+        if entry and self.cfg.caching_enabled:
+            self.cache.put(node, entry)
+
+    def adopt_node(self, node: int) -> None:
+        """Take ownership of ``node`` (builder wiring / membership API)."""
+        self.owned.add(node)
+        self.hosted_list.append(node)
+        self.ranking.track(node)
+        self.metadata.meta(node)  # ensure a meta record exists
+        entry = self.maps.setdefault(node, [])
+        if self.sid not in entry:
+            entry.insert(0, self.sid)
+        if self.digest is not None:
+            self.digest.add(node)
+
+    def bump_meta(self, node: int) -> int:
+        """Owner-only meta-data version bump; replicas converge lazily."""
+        if node not in self.owned:
+            raise KeyError(f"server {self.sid} does not own node {node}")
+        meta = self.metadata.meta(node)
+        meta.version += 1
+        return meta.version
+
+    def meta_version_of(self, node: int) -> int:
+        """Newest meta-data version this server knows for ``node``."""
+        if node in self.owned:
+            return self.metadata.meta(node).version
+        rep = self.replicas.get(node)
+        return rep.meta_version if rep is not None else 0
+
+    # ------------------------------------------------------------------
+    # replica lifecycle
+    # ------------------------------------------------------------------
+
+    def install_replica(self, payload: ReplicaPayload, now: float) -> None:
+        """Install a replica with full routing context (paper section 2.3)."""
+        node = payload.node
+        self.replicas[node] = Replica(payload.meta_version, now,
+                                      meta=payload.meta)
+        self.hosted_list.append(node)
+        self.ranking.track(node)
+        entry = self.maps.get(node)
+        merged = merge_maps(
+            entry or [], payload.node_map, self.cfg.rmap, self.rng,
+            advertised=(self.sid,),
+        )
+        self.maps[node] = merged
+        self.pin_refs[node] = self.pin_refs.get(node, 0) + 1
+        for nbr, nbr_map in payload.context.items():
+            self.pin(nbr, nbr_map)
+        # drop any stale cache entry now superseded by hosted state
+        self.cache.remove(node)
+        if self.digest is not None:
+            self.digest.add(node)
+
+    def evict_replica(self, node: int, now: float) -> None:
+        """Locally delete a replica; other servers learn lazily."""
+        rep = self.replicas.pop(node, None)
+        if rep is None:
+            return
+        self.hosted_list.remove(node)
+        self.ranking.forget(node)
+        for nbr in self.ns.neighbors(node):
+            self.unpin(nbr)
+        refs = self.pin_refs.pop(node, 0) - 1
+        entry = self.maps.pop(node, None)
+        if refs > 0:
+            # the node is also a pinned neighbor of another hosted node
+            self.pin_refs[node] = refs
+            if entry is not None:
+                self.maps[node] = [s for s in entry if s != self.sid]
+        elif entry and self.cfg.caching_enabled:
+            self.cache.put(node, [s for s in entry if s != self.sid])
+        if self.digest is not None:
+            self.digest.rebuild(self.iter_hosted())
+        self.sys.stats.record_replica_evicted(now, self.ns.depth[node])
+
+    def build_replica_payload(self, node: int) -> Optional[ReplicaPayload]:
+        """Snapshot everything a target needs to host ``node``."""
+        if not self.hosts(node):
+            return None
+        node_map = list(self.maps.get(node, ()))
+        if self.sid not in node_map:
+            node_map.insert(0, self.sid)
+        context: Dict[int, List[int]] = {}
+        for nbr in self.ns.neighbors(node):
+            context[nbr] = list(self.maps.get(nbr, ()))
+        if node in self.owned:
+            meta = self.metadata.meta(node)
+            version, snapshot = meta.version, meta.snapshot()
+        else:
+            rep = self.replicas[node]
+            version = rep.meta_version
+            snapshot = rep.meta.snapshot() if rep.meta is not None else None
+        return ReplicaPayload(node, version, node_map, context, meta=snapshot)
+
+    def note_replica_created(self, node: int, target: int, now: float) -> None:
+        """Source-side bookkeeping after a target confirmed installation."""
+        dq = self.adverts_recent.get(node)
+        if dq is None:
+            dq = deque(maxlen=self.cfg.rmap)
+            self.adverts_recent[node] = dq
+        if target in dq:
+            dq.remove(target)
+        dq.appendleft(target)
+        entry = self.maps.get(node)
+        if entry is not None:
+            if target in entry:
+                entry.remove(target)
+            if len(entry) >= self.cfg.rmap:
+                # random eviction, but never of our own entry
+                candidates = [i for i, s in enumerate(entry) if s != self.sid]
+                if candidates:
+                    entry.pop(self.rng.choice(candidates))
+            entry.insert(0, target)
+        self.sys.stats.record_replica_created(now, self.ns.depth[node])
+
+    # ------------------------------------------------------------------
+    # map management
+    # ------------------------------------------------------------------
+
+    def merge_map(self, node: int, incoming: Iterable[int]) -> None:
+        """Merge an incoming map into whatever we keep for ``node``.
+
+        Applies digest-based map filtering (paper section 3.6.2): known
+        digests that answer "no" for ``node`` veto their server's entry.
+        """
+        incoming = self._filter_servers(node, incoming)
+        if not incoming:
+            return
+        advertised = tuple(self.adverts_recent.get(node, ()))
+        entry = self.maps.get(node)
+        if entry is not None:
+            keep: List[int] = []
+            if self.hosts(node) and self.sid in entry:
+                keep.append(self.sid)
+            self.maps[node] = merge_maps(
+                entry, incoming, self.cfg.rmap, self.rng,
+                advertised=tuple(keep) + advertised,
+            )
+            return
+        if self.cfg.caching_enabled:
+            cached = self.cache.peek(node)
+            if cached is not None:
+                self.cache.replace(
+                    node,
+                    merge_maps(
+                        cached, incoming, self.cfg.rmap, self.rng,
+                        advertised=advertised,
+                    ),
+                )
+
+    def _filter_servers(self, node: int, servers: Iterable[int]) -> List[int]:
+        """Digest map filtering: drop entries whose digest denies ``node``.
+
+        With ``cfg.oracle_maps`` the filter consults ground truth
+        instead -- the paper's section 4.4 "oracle" comparison point.
+        """
+        if self.cfg.oracle_maps:
+            peers = self.sys.peers
+            return [s for s in servers if peers[s].hosts(node)]
+        ddir = self.digest_dir
+        if ddir is None or not self.cfg.digests_enabled:
+            return [s for s in servers]
+        out = []
+        for s in servers:
+            if s != self.sid and ddir.test(s, node) is False:
+                continue
+            out.append(s)
+        return out
+
+    # ------------------------------------------------------------------
+    # message delivery (transport entry point)
+    # ------------------------------------------------------------------
+
+    def deliver(self, msg) -> None:
+        """Transport hands every inbound message here."""
+        if self.failed:
+            return  # fail-stop: inbound traffic is lost
+        kind = msg.__class__
+        if kind is QueryMessage:
+            self._enqueue_query(msg)
+        elif kind is ResponseMessage:
+            self._on_response(msg)
+        elif kind is ProbeMessage:
+            self.repl.on_probe(msg, self.sys.engine.now)
+        elif kind is ProbeReplyMessage:
+            self.repl.on_probe_reply(msg, self.sys.engine.now)
+        elif kind is TransferMessage:
+            self.repl.on_transfer(msg, self.sys.engine.now)
+        elif kind is TransferAckMessage:
+            self.repl.on_ack(msg, self.sys.engine.now)
+        elif kind is AdvertMessage:
+            self._absorb_advert(msg.node, msg.servers)
+        elif kind is DataRequest:
+            self._on_data_request(msg)
+        elif kind is DataReply:
+            hook = self.client_hooks.pop(("data", msg.rid), None)
+            if hook is not None:
+                hook(msg)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unhandled message type {kind.__name__}")
+
+    def send_control(self, dest: int, msg) -> None:
+        self.sys.transport.send(dest, msg, control=True)
+
+    # ------------------------------------------------------------------
+    # query queueing and service
+    # ------------------------------------------------------------------
+
+    def inject(self, dest: int, qid: int) -> None:
+        """A client initiates a lookup for ``dest`` at this server."""
+        now = self.sys.engine.now
+        self.sys.stats.record_injected(now)
+        msg = QueryMessage(qid, dest, self.sid, now)
+        msg.via = -1
+        self._enqueue_query(msg)
+
+    def _enqueue_query(self, msg: QueryMessage) -> None:
+        if not self.in_service:
+            self._start_service(msg)
+            return
+        if len(self.queue) >= self.cfg.queue_size:
+            self.n_queue_drops += 1
+            self.sys.stats.record_drop(self.sys.engine.now, reason="queue")
+            return
+        self.queue.append(msg)
+
+    def _start_service(self, msg: QueryMessage) -> None:
+        self.in_service = True
+        now = self.sys.engine.now
+        self.meter.service_started(now)
+        svc = exponential(self.rng, self.service_mean)
+        self.sys.engine.schedule(now + svc, self._finish_service, msg)
+
+    def _finish_service(self, msg: QueryMessage) -> None:
+        if self.failed or not self.in_service:
+            return  # server died mid-service; the request dies with it
+        now = self.sys.engine.now
+        self.meter.service_finished(now)
+        self.n_processed += 1
+        self._process_query(msg)
+        self.repl.maybe_trigger(now)
+        self.in_service = False
+        if self.queue:
+            self._start_service(self.queue.popleft())
+
+    # ------------------------------------------------------------------
+    # query processing
+    # ------------------------------------------------------------------
+
+    def _process_query(self, m: QueryMessage) -> None:
+        now = self.sys.engine.now
+        sid = self.sid
+        stats = self.sys.stats
+
+        # -- absorb piggybacked soft state --------------------------------
+        if m.sender != sid:
+            self.known_loads[m.sender] = (m.sender_load, now)
+            if m.sender_digest is not None and self.digest_dir is not None:
+                self.digest_dir.observe(m.sender, m.sender_digest)
+        for adv in m.adverts:
+            self._absorb_advert(adv.node, (adv.server,))
+        if self.cfg.caching_enabled and self.cfg.path_propagation:
+            cache_put = self.cache.put
+            hosts = self.hosts
+            for node, server in m.path:
+                if server != sid and not hosts(node):
+                    cache_put(node, (server,))
+
+        # -- attribution of routing work (node ranking, section 3.2) ------
+        via = m.via
+        if via >= 0:
+            if self.hosts(via):
+                self.ranking.hit(via)
+                rep = self.replicas.get(via)
+                if rep is not None:
+                    rep.last_used = now
+            else:
+                m.stale_hops += 1
+                stats.record_stale_hop(now)
+
+        # -- merge the in-flight destination map into kept state ----------
+        if m.dest_map:
+            self.merge_map(m.dest, m.dest_map)
+
+        # -- route ---------------------------------------------------------
+        decision = routing.decide(self, m.dest)
+        if decision.action is routing.RouteAction.RESOLVED:
+            self._resolve(m, now)
+            return
+        if decision.action is routing.RouteAction.FAIL:
+            stats.record_drop(now, reason="routing")
+            return
+        m.hops += 1
+        if m.hops > self.cfg.max_hops:
+            stats.record_drop(now, reason="ttl")
+            return
+        stats.record_forward(decision.source)
+
+        # back-propagate fresh replica info for the node we served
+        if (
+            self.cfg.advertisement_enabled
+            and via >= 0
+            and m.sender != sid
+            and self.adverts_recent.get(via)
+        ):
+            self.send_control(
+                m.sender, AdvertMessage(via, list(self.adverts_recent[via]))
+            )
+
+        # -- piggyback and forward -----------------------------------------
+        if via >= 0 and self.hosts(via):
+            m.path.append((via, sid))
+        m.via = decision.via
+        m.sender = sid
+        m.sender_load = self.meter.load()
+        if self.cfg.digests_enabled and self.digest is not None:
+            m.sender_digest = self.digest.snapshot()
+        if self.cfg.advertisement_enabled:
+            adv_out: List[Advertisement] = []
+            for node in (decision.via, m.dest):
+                dq = self.adverts_recent.get(node)
+                if dq:
+                    adv_out.extend(Advertisement(node, s) for s in dq)
+            m.adverts = adv_out
+        else:
+            m.adverts = []
+        local_map = self.maps.get(m.dest) or self.cache.peek(m.dest) or ()
+        advertised = tuple(self.adverts_recent.get(m.dest, ()))
+        m.dest_map = merge_maps(
+            local_map, m.dest_map, self.cfg.rmap, self.rng, advertised=advertised
+        )
+        self.sys.transport.send(decision.next_server, m)
+
+    def _resolve(self, m: QueryMessage, now: float) -> None:
+        """The query reached a host of its destination: lookup complete."""
+        self.ranking.hit(m.dest)
+        rep = self.replicas.get(m.dest)
+        if rep is not None:
+            rep.last_used = now
+        m.path.append((m.dest, self.sid))
+        entry = list(self.maps.get(m.dest, ()))
+        if self.sid not in entry:
+            entry.insert(0, self.sid)
+        resp = ResponseMessage(
+            m, resolver=self.sid, dest_map=entry,
+            meta_version=self.meta_version_of(m.dest),
+        )
+        resp.sender_load = self.meter.load()
+        if self.cfg.digests_enabled and self.digest is not None:
+            resp.sender_digest = self.digest.snapshot()
+        if m.origin == self.sid:
+            self._on_response(resp)
+        else:
+            # responses return directly to the origin, bypassing queues
+            self.sys.transport.send(m.origin, resp)
+
+    def _on_response(self, r: ResponseMessage) -> None:
+        now = self.sys.engine.now
+        if r.resolver != self.sid:
+            self.known_loads[r.resolver] = (r.sender_load, now)
+            if r.sender_digest is not None and self.digest_dir is not None:
+                self.digest_dir.observe(r.resolver, r.sender_digest)
+        if self.cfg.caching_enabled:
+            if not self.hosts(r.dest):
+                self.cache.put(
+                    r.dest, self._filter_servers(r.dest, r.dest_map)
+                )
+            if self.cfg.path_propagation:
+                for node, server in r.path:
+                    if server != self.sid and not self.hosts(node):
+                        self.cache.put(node, (server,))
+        latency = now - r.created_at
+        self.sys.stats.record_completion(now, latency, r.hops, r.stale_hops)
+        hook = self.client_hooks.pop(("lookup", r.qid), None)
+        if hook is not None:
+            hook(r)
+
+    def _on_data_request(self, req: DataRequest) -> None:
+        """Second-step retrieval (paper section 2.1): serve data/meta if
+        we own the node, else redirect with our map for it."""
+        reply = DataReply(req.rid, req.node, self.sid)
+        if req.node in self.owned:
+            if req.want_meta:
+                reply.meta = self.metadata.meta(req.node).snapshot()
+            else:
+                reply.data = self.metadata.get_data(req.node)
+                reply.meta = self.metadata.meta(req.node).snapshot()
+        else:
+            entry = self.maps.get(req.node) or (
+                self.cache.peek(req.node) if self.cache is not None else None
+            )
+            reply.redirect_map = [s for s in (entry or []) if s != self.sid]
+        self.sys.transport.send(req.origin, reply)
+
+    def _absorb_advert(self, node: int, servers: Iterable[int]) -> None:
+        """Fold advertised new replicas into kept maps, preferred."""
+        entry = self.maps.get(node)
+        if entry is not None:
+            for s in servers:
+                if s in entry:
+                    continue
+                if len(entry) >= self.cfg.rmap:
+                    idx = [i for i, e in enumerate(entry) if e != self.sid]
+                    if not idx:
+                        continue
+                    entry.pop(self.rng.choice(idx))
+                entry.insert(0, s)
+            return
+        if self.cfg.caching_enabled and node in self.cache:
+            self.cache.put(node, list(servers))
+
+    # ------------------------------------------------------------------
+    # periodic maintenance (driven by the system)
+    # ------------------------------------------------------------------
+
+    def roll_window(self, now: float) -> float:
+        """Close the current load window; returns the window's busy fraction."""
+        return self.meter.roll(now)
+
+    def rescale_ranking(self) -> None:
+        self.ranking.rescale()
+
+    def evict_idle_replicas(self, now: float) -> int:
+        """Timed eviction of long-unused replicas (section 3.5)."""
+        timeout = self.cfg.replica_idle_timeout
+        if timeout <= 0:
+            return 0
+        victims = [
+            v for v, rep in self.replicas.items()
+            if now - rep.last_used > timeout
+        ]
+        for v in victims:
+            self.evict_replica(v, now)
+        return len(victims)
+
+    def __repr__(self) -> str:
+        return (
+            f"Peer(sid={self.sid}, owned={len(self.owned)}, "
+            f"replicas={len(self.replicas)}, load={self.meter.measured():.2f})"
+        )

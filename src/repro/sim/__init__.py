@@ -1,0 +1,15 @@
+"""Discrete-event simulation substrate (engine, RNG streams, stats)."""
+
+from repro.sim.engine import Engine, SimError
+from repro.sim.rng import RngStreams, ZipfSampler
+from repro.sim.stats import Counter, TimeSeries, WindowAverager
+
+__all__ = [
+    "Counter",
+    "Engine",
+    "RngStreams",
+    "SimError",
+    "TimeSeries",
+    "WindowAverager",
+    "ZipfSampler",
+]

@@ -1,0 +1,129 @@
+"""Minimal, fast discrete-event engine.
+
+Events are ``(time, seq, fn, args)`` tuples on a binary heap.  ``seq``
+is a monotonically increasing tie-breaker so simultaneous events run in
+scheduling order and callables are never compared.  The engine is
+deliberately tiny -- scheduling overhead dominates a pure-Python
+simulator, so there are no event objects, no cancellation tokens (use
+the returned handle's ``cancelled`` flag), and no processes/coroutines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled event (lazy deletion)."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """Priority-queue discrete-event simulator core.
+
+    >>> eng = Engine()
+    >>> hits = []
+    >>> _ = eng.schedule(1.0, hits.append, "a")
+    >>> _ = eng.schedule(0.5, hits.append, "b")
+    >>> eng.run()
+    >>> hits
+    ['b', 'a']
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_running", "n_dispatched")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Optional[EventHandle], Callable, tuple]] = []
+        self._seq = 0
+        self._running = False
+        self.n_dispatched = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self, time: float, fn: Callable, *args: Any, handle: bool = False
+    ) -> Optional[EventHandle]:
+        """Schedule ``fn(*args)`` at absolute ``time``.
+
+        Args:
+            handle: when True return an :class:`EventHandle` that can
+                cancel the event; plain events skip handle allocation.
+
+        Raises:
+            SimError: when ``time`` is before the current clock.
+        """
+        if time < self.now:
+            raise SimError(f"cannot schedule at {time} (now={self.now})")
+        h = EventHandle() if handle else None
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, h, fn, args))
+        return h
+
+    def schedule_after(
+        self, delay: float, fn: Callable, *args: Any, handle: bool = False
+    ) -> Optional[EventHandle]:
+        """Schedule ``fn(*args)`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, fn, *args, handle=handle)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: float = float("inf"), max_events: int = 0) -> None:
+        """Dispatch events in time order.
+
+        Stops when the heap is empty, the next event is later than
+        ``until`` (the clock is then advanced to exactly ``until``), or
+        ``max_events`` events have been dispatched (0 = unlimited).
+        """
+        if self._running:
+            raise SimError("engine is not reentrant")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        try:
+            while heap:
+                t = heap[0][0]
+                if t > until:
+                    break
+                _, _, h, fn, args = pop(heap)
+                if h is not None and h.cancelled:
+                    continue
+                self.now = t
+                fn(*args)
+                dispatched += 1
+                if max_events and dispatched >= max_events:
+                    break
+            else:
+                pass
+            if until != float("inf") and self.now < until and not (
+                max_events and dispatched >= max_events
+            ):
+                self.now = until
+        finally:
+            self._running = False
+            self.n_dispatched += dispatched
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self.now = 0.0
+        self._seq = 0
+        self.n_dispatched = 0

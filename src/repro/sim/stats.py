@@ -1,0 +1,154 @@
+"""Metric collection for simulation runs.
+
+Everything the paper plots is a per-second time series (drops/s,
+replicas created/s, mean/max load/s) or an aggregate (drop fraction,
+mean latency, per-level replica counts).  :class:`TimeSeries` buckets
+values into integer-second bins; :class:`WindowAverager` produces the
+w-second smoothed maxima of Fig. 6 (right).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """A plain named counter with helpers for rate reporting."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """Values bucketed into fixed-width time bins (default 1 second).
+
+    ``add(t, x)`` accumulates ``x`` into the bin containing ``t``;
+    ``observe(t, x)`` additionally tracks per-bin count/max so means and
+    maxima can be reported.
+    """
+
+    __slots__ = ("bin_width", "_sum", "_cnt", "_max")
+
+    def __init__(self, bin_width: float = 1.0) -> None:
+        if bin_width <= 0:
+            raise ValueError("bin_width must be > 0")
+        self.bin_width = bin_width
+        self._sum: Dict[int, float] = {}
+        self._cnt: Dict[int, int] = {}
+        self._max: Dict[int, float] = {}
+
+    def _bin(self, t: float) -> int:
+        return int(t / self.bin_width)
+
+    def add(self, t: float, x: float = 1.0) -> None:
+        """Accumulate ``x`` into ``t``'s bin (rate-style metric)."""
+        b = self._bin(t)
+        self._sum[b] = self._sum.get(b, 0.0) + x
+
+    def observe(self, t: float, x: float) -> None:
+        """Record a sampled value (tracks sum, count and max per bin)."""
+        b = self._bin(t)
+        self._sum[b] = self._sum.get(b, 0.0) + x
+        self._cnt[b] = self._cnt.get(b, 0) + 1
+        m = self._max.get(b)
+        if m is None or x > m:
+            self._max[b] = x
+
+    @property
+    def n_bins(self) -> int:
+        return (max(self._sum) + 1) if self._sum else 0
+
+    def totals(self, n_bins: Optional[int] = None) -> List[float]:
+        """Per-bin sums as a dense list of length ``n_bins``."""
+        n = self.n_bins if n_bins is None else n_bins
+        return [self._sum.get(b, 0.0) for b in range(n)]
+
+    def means(self, n_bins: Optional[int] = None) -> List[float]:
+        """Per-bin means (0 where the bin has no observations)."""
+        n = self.n_bins if n_bins is None else n_bins
+        out = []
+        for b in range(n):
+            c = self._cnt.get(b, 0)
+            out.append(self._sum.get(b, 0.0) / c if c else 0.0)
+        return out
+
+    def maxima(self, n_bins: Optional[int] = None) -> List[float]:
+        """Per-bin maxima (0 where the bin has no observations)."""
+        n = self.n_bins if n_bins is None else n_bins
+        return [self._max.get(b, 0.0) for b in range(n)]
+
+    def total(self) -> float:
+        return sum(self._sum.values())
+
+
+class WindowAverager:
+    """Sliding-window mean over a per-bin series (Fig. 6 right panel).
+
+    The paper smooths the per-second maximum server load by averaging
+    over 11-second windows; ``smooth(series, 11)`` reproduces that.
+    """
+
+    @staticmethod
+    def smooth(series: Sequence[float], window: int) -> List[float]:
+        """Centered moving average, truncated at the edges."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        n = len(series)
+        half = window // 2
+        out = []
+        for i in range(n):
+            lo = max(0, i - half)
+            hi = min(n, i + half + 1)
+            out.append(sum(series[lo:hi]) / (hi - lo))
+        return out
+
+
+class LatencyStats:
+    """Streaming latency aggregate (count/mean/max + histogram)."""
+
+    __slots__ = ("count", "total", "max", "_hist", "_hist_width")
+
+    def __init__(self, hist_width: float = 0.010) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._hist: Dict[int, int] = {}
+        self._hist_width = hist_width
+
+    def record(self, latency: float) -> None:
+        self.count += 1
+        self.total += latency
+        if latency > self.max:
+            self.max = latency
+        b = int(latency / self._hist_width)
+        self._hist[b] = self._hist.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the histogram (bin upper edge)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        acc = 0
+        for b in sorted(self._hist):
+            acc += self._hist[b]
+            if acc >= target:
+                return (b + 1) * self._hist_width
+        return self.max

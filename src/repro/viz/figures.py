@@ -1,0 +1,232 @@
+"""Regenerate the paper's figures as SVG files.
+
+Runs the experiment harness (at the ``REPRO_SCALE`` size) and renders
+each figure with the chart primitives of :mod:`repro.viz.svg`::
+
+    python -m repro.viz.figures --out figures
+    python -m repro.viz.figures --out figures fig5 fig7
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.common import Scale, get_scale
+from repro.viz.svg import BarChart, LineChart
+
+
+def fig3_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig3_drops import run_fig3
+
+    results = run_fig3(scale=scale, seed=seed)
+    chart = LineChart(
+        "Fig. 3 — fraction of queries dropped every second",
+        x_label="time (s)", y_label="drop fraction (vs rate)",
+    )
+    for name, series in results.items():
+        chart.add_series(name, list(enumerate(series)))
+    return chart.render()
+
+
+def fig4_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig4_replicas import run_fig4
+
+    results = run_fig4(scale=scale, seed=seed)
+    chart = LineChart(
+        "Fig. 4 — replicas created every second (namespace N_C)",
+        x_label="time (s)", y_label="creations (vs rate)",
+    )
+    for name, series in results.items():
+        chart.add_series(name, list(enumerate(series)))
+    return chart.render()
+
+
+def fig5_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig5_ablation import drop_table, run_fig5
+
+    table = drop_table(run_fig5(scale=scale, seed=seed))
+    streams = list(next(iter(table.values())).keys())
+    chart = BarChart(
+        "Fig. 5 — dropped queries: base (B), +caching (BC), +replication (BCR)",
+        categories=streams, y_label="fraction of dropped queries",
+    )
+    for preset, per_stream in table.items():
+        chart.add_series(preset, [per_stream[s] for s in streams])
+    return chart.render()
+
+
+def fig6_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig6_load import run_fig6
+
+    results = run_fig6(scale=scale, seed=seed)
+    chart = LineChart(
+        "Fig. 6 — mean and max server load over time",
+        x_label="time (s)", y_label="load (utilisation)",
+    )
+    for label, series in results.items():
+        chart.add_series(f"{label} avg", list(enumerate(series["mean"])))
+    # the paper overlays the smoothed maxima; keep within palette budget
+    top = list(results)[-1]
+    chart.add_series(
+        f"{top} max (smoothed)",
+        list(enumerate(results[top]["smoothed_max"])),
+    )
+    return chart.render()
+
+
+def fig7_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig7_levels import run_fig7
+
+    results = run_fig7(scale=scale, seed=seed)
+    chart = LineChart(
+        "Fig. 7 — average replicas created per namespace level",
+        x_label="namespace tree level (0 = root)",
+        y_label="avg replicas per node",
+    )
+    for name, series in results.items():
+        chart.add_series(name, list(enumerate(series)))
+    return chart.render()
+
+
+def fig8_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig8_stabilization import run_fig8
+
+    results = run_fig8(scale=scale, seed=seed)
+    chart = LineChart(
+        "Fig. 8 — replicas created per bucket over a long run",
+        x_label=f"bucket ({scale.long_bucket}s)", y_label="replicas created",
+    )
+    for name, buckets in results.items():
+        chart.add_series(name, list(enumerate(buckets)))
+    return chart.render()
+
+
+def fig9_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig9_scalability import run_fig9
+
+    results = run_fig9(scale=scale, seed=seed)
+    sizes = list(results)
+    chart = LineChart(
+        "Fig. 9 — scalability of latency, replication, and drops",
+        x_label="system size (log2 servers)",
+        y_label="hops / log2(events)",
+    )
+    chart.add_series(
+        "latency (hops)",
+        [(math.log2(n), results[n]["mean_hops"]) for n in sizes],
+    )
+    chart.add_series(
+        "log2(replications)",
+        [(math.log2(n), math.log2(max(1.0, results[n]["replicas_created"])))
+         for n in sizes],
+    )
+    chart.add_series(
+        "log2(drops)",
+        [(math.log2(n), math.log2(max(1.0, results[n]["dropped"])))
+         for n in sizes],
+    )
+    return chart.render()
+
+
+def fig5_sparse_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.fig5_ablation import run_fig5_sparse
+
+    table = run_fig5_sparse(seed=seed)
+    streams = list(next(iter(table.values())).keys())
+    chart = BarChart(
+        "Fig. 5 (sparse ownership) — caching aggravates N_S; replication rescues",
+        categories=streams, y_label="fraction of dropped queries",
+    )
+    for preset, per_stream in table.items():
+        chart.add_series(preset, [per_stream[s] for s in streams])
+    return chart.render()
+
+
+def heterogeneity_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.heterogeneity import run_heterogeneity
+
+    results = run_heterogeneity(scale=scale, seed=seed)
+    cases = list(results)
+    chart = BarChart(
+        "Heterogeneity — half the fleet 2.5× slower (§5 claim)",
+        categories=cases, y_label="fraction of dropped queries",
+    )
+    chart.add_series("drop fraction",
+                     [results[c]["drop_fraction"] for c in cases])
+    return chart.render()
+
+
+def static_vs_adaptive_svg(scale: Scale, seed: int = 1) -> str:
+    from repro.experiments.static_vs_adaptive import run_static_vs_adaptive
+
+    results = run_static_vs_adaptive(scale=scale, seed=seed)
+    modes = list(results)
+    chart = BarChart(
+        "Static vs adaptive replication (§2.3 argument)",
+        categories=modes, y_label="fraction of dropped queries",
+    )
+    chart.add_series("uniform warm-up",
+                     [results[m]["drop_warmup"] for m in modes])
+    chart.add_series("shifting hot-spots",
+                     [results[m]["drop_shifting"] for m in modes])
+    return chart.render()
+
+
+FIGURES: Dict[str, Callable[[Scale, int], str]] = {
+    "fig3": fig3_svg,
+    "fig4": fig4_svg,
+    "fig5": fig5_svg,
+    "fig6": fig6_svg,
+    "fig7": fig7_svg,
+    "fig8": fig8_svg,
+    "fig9": fig9_svg,
+    "fig5_sparse": fig5_sparse_svg,
+    "heterogeneity": heterogeneity_svg,
+    "static_vs_adaptive": static_vs_adaptive_svg,
+}
+
+
+def render_figures(
+    out_dir: str,
+    names: Optional[List[str]] = None,
+    scale: Optional[Scale] = None,
+    seed: int = 1,
+) -> List[str]:
+    """Render the requested figures (default: all) into ``out_dir``.
+
+    Returns the written file paths.
+    """
+    scale = scale or get_scale()
+    wanted = names or list(FIGURES)
+    unknown = [n for n in wanted if n not in FIGURES]
+    if unknown:
+        raise ValueError(f"unknown figures {unknown}; choose from {list(FIGURES)}")
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in wanted:
+        svg = FIGURES[name](scale, seed)
+        path = out / f"{name}.svg"
+        path.write_text(svg)
+        written.append(str(path))
+    return written
+
+
+def main(argv: List[str]) -> None:  # pragma: no cover - thin CLI
+    out = "figures"
+    names: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--out":
+            out = next(it)
+        else:
+            names.append(arg)
+    for path in render_figures(out, names or None):
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main(sys.argv[1:])

@@ -1,0 +1,302 @@
+"""Minimal, dependency-free SVG chart primitives.
+
+Implements the house data-viz method with a validated reference
+palette: categorical hues assigned in fixed slot order (never cycled),
+2px lines and thin bars with rounded data ends, a single y axis,
+recessive grid and axes, text in text tokens (never series colors), a
+legend whenever two or more series are drawn, and native SVG hover
+titles on every mark. Light-surface rendering (#fcfcfb).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: Validated categorical palette (fixed slot order -- the ordering is
+#: the CVD-safety mechanism; do not re-sort or cycle).
+PALETTE: Tuple[str, ...] = (
+    "#2a78d6",  # blue
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+    "#e87ba4",  # magenta
+    "#eb6834",  # orange
+)
+
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+AXIS = "#c9c8c2"
+
+FONT = "font-family='system-ui, sans-serif'"
+
+
+def nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 steps)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if span / step <= n:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-12:
+        if t >= lo - 1e-12:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:g}"
+    return f"{v:.3g}"
+
+
+class _Canvas:
+    """Shared frame: surface, title, axes, grid, legend."""
+
+    def __init__(self, width: int, height: int, title: str,
+                 x_label: str = "", y_label: str = "") -> None:
+        self.width = width
+        self.height = height
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.margin = dict(left=64, right=16, top=44, bottom=46)
+        self.parts: List[str] = []
+
+    @property
+    def plot_w(self) -> float:
+        return self.width - self.margin["left"] - self.margin["right"]
+
+    @property
+    def plot_h(self) -> float:
+        return self.height - self.margin["top"] - self.margin["bottom"]
+
+    def sx(self, frac: float) -> float:
+        return self.margin["left"] + frac * self.plot_w
+
+    def sy(self, frac: float) -> float:
+        return self.margin["top"] + (1.0 - frac) * self.plot_h
+
+    def frame(self, y_ticks: Sequence[float], y_lo: float, y_hi: float) -> None:
+        m = self.margin
+        self.parts.append(
+            f"<rect width='{self.width}' height='{self.height}' "
+            f"fill='{SURFACE}'/>"
+        )
+        self.parts.append(
+            f"<text x='{m['left']}' y='22' {FONT} font-size='14' "
+            f"font-weight='600' fill='{TEXT_PRIMARY}'>"
+            f"{escape(self.title)}</text>"
+        )
+        span = (y_hi - y_lo) or 1.0
+        for t in y_ticks:
+            y = self.sy((t - y_lo) / span)
+            self.parts.append(
+                f"<line x1='{m['left']}' y1='{y:.1f}' "
+                f"x2='{self.width - m['right']}' y2='{y:.1f}' "
+                f"stroke='{GRID}' stroke-width='1'/>"
+            )
+            self.parts.append(
+                f"<text x='{m['left'] - 6}' y='{y + 3:.1f}' {FONT} "
+                f"font-size='10' text-anchor='end' "
+                f"fill='{TEXT_SECONDARY}'>{_fmt(t)}</text>"
+            )
+        base = self.sy(0.0)
+        self.parts.append(
+            f"<line x1='{m['left']}' y1='{base:.1f}' "
+            f"x2='{self.width - m['right']}' y2='{base:.1f}' "
+            f"stroke='{AXIS}' stroke-width='1'/>"
+        )
+        if self.x_label:
+            self.parts.append(
+                f"<text x='{self.sx(0.5):.1f}' y='{self.height - 8}' {FONT} "
+                f"font-size='11' text-anchor='middle' "
+                f"fill='{TEXT_SECONDARY}'>{escape(self.x_label)}</text>"
+            )
+        if self.y_label:
+            x, y = 14, self.sy(0.5)
+            self.parts.append(
+                f"<text x='{x}' y='{y:.1f}' {FONT} font-size='11' "
+                f"text-anchor='middle' fill='{TEXT_SECONDARY}' "
+                f"transform='rotate(-90 {x} {y:.1f})'>"
+                f"{escape(self.y_label)}</text>"
+            )
+
+    def legend(self, names: Sequence[str]) -> None:
+        """A legend row under the title (always drawn for >= 2 series)."""
+        if len(names) < 2:
+            return
+        x = self.margin["left"]
+        y = 34
+        for i, name in enumerate(names):
+            color = PALETTE[i % len(PALETTE)]
+            self.parts.append(
+                f"<rect x='{x}' y='{y - 8}' width='10' height='10' rx='2' "
+                f"fill='{color}'/>"
+            )
+            label = escape(name)
+            self.parts.append(
+                f"<text x='{x + 14}' y='{y}' {FONT} font-size='10' "
+                f"fill='{TEXT_PRIMARY}'>{label}</text>"
+            )
+            x += 22 + 6 * len(name)
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (
+            f"<svg xmlns='http://www.w3.org/2000/svg' width='{self.width}' "
+            f"height='{self.height}' viewBox='0 0 {self.width} "
+            f"{self.height}'>\n{body}\n</svg>\n"
+        )
+
+
+class LineChart:
+    """Multi-series line chart (one y axis, series in fixed slot order).
+
+    >>> c = LineChart("title", y_label="drops/s")
+    >>> c.add_series("unif", [(0, 0.0), (1, 0.5)])
+    >>> svg = c.render()
+    """
+
+    def __init__(self, title: str, x_label: str = "", y_label: str = "",
+                 width: int = 640, height: int = 360,
+                 log_y: bool = False) -> None:
+        self.canvas = _Canvas(width, height, title, x_label, y_label)
+        self.series: List[Tuple[str, List[Tuple[float, float]]]] = []
+        self.log_y = log_y
+
+    def add_series(self, name: str, points: Sequence[Tuple[float, float]]) -> None:
+        if len(self.series) >= len(PALETTE):
+            raise ValueError(
+                "too many series for the fixed palette; fold extras into "
+                "'Other' or use small multiples"
+            )
+        self.series.append((name, [(float(x), float(y)) for x, y in points]))
+
+    def _transform_y(self, y: float) -> float:
+        if self.log_y:
+            return math.log10(max(y, 1e-12))
+        return y
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series added")
+        xs = [x for _, pts in self.series for x, _ in pts]
+        ys = [self._transform_y(y) for _, pts in self.series for _, y in pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys + [0.0] if not self.log_y else ys), max(ys)
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        ticks = nice_ticks(y_lo, y_hi)
+        y_lo, y_hi = min(ticks + [y_lo]), max(ticks + [y_hi])
+        c = self.canvas
+        c.frame(ticks, y_lo, y_hi)
+        c.legend([name for name, _ in self.series])
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        for i, (name, pts) in enumerate(self.series):
+            color = PALETTE[i]
+            coords = " ".join(
+                f"{c.sx((x - x_lo) / x_span):.1f},"
+                f"{c.sy((self._transform_y(y) - y_lo) / y_span):.1f}"
+                for x, y in pts
+            )
+            title = escape(name)
+            c.parts.append(
+                f"<polyline points='{coords}' fill='none' stroke='{color}' "
+                f"stroke-width='2' stroke-linejoin='round'>"
+                f"<title>{title}</title></polyline>"
+            )
+            # selective direct label at the line's end
+            lx, ly = pts[-1]
+            c.parts.append(
+                f"<text x='{c.sx((lx - x_lo) / x_span) - 2:.1f}' "
+                f"y='{c.sy((self._transform_y(ly) - y_lo) / y_span) - 5:.1f}' "
+                f"{FONT} font-size='9' text-anchor='end' "
+                f"fill='{TEXT_SECONDARY}'>{title}</text>"
+            )
+        # x tick labels
+        for t in nice_ticks(x_lo, x_hi, 6):
+            x = c.sx((t - x_lo) / x_span)
+            c.parts.append(
+                f"<text x='{x:.1f}' y='{c.sy(0.0) + 14:.1f}' {FONT} "
+                f"font-size='10' text-anchor='middle' "
+                f"fill='{TEXT_SECONDARY}'>{_fmt(t)}</text>"
+            )
+        return c.render()
+
+
+class BarChart:
+    """Grouped bar chart: one group per category, one bar per series."""
+
+    def __init__(self, title: str, categories: Sequence[str],
+                 x_label: str = "", y_label: str = "",
+                 width: int = 720, height: int = 360) -> None:
+        self.canvas = _Canvas(width, height, title, x_label, y_label)
+        self.categories = list(categories)
+        self.series: List[Tuple[str, List[float]]] = []
+
+    def add_series(self, name: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.categories):
+            raise ValueError("one value per category required")
+        if len(self.series) >= len(PALETTE):
+            raise ValueError("too many series for the fixed palette")
+        self.series.append((name, [float(v) for v in values]))
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series added")
+        values = [v for _, vs in self.series for v in vs]
+        y_lo, y_hi = 0.0, max(values + [1e-9])
+        ticks = nice_ticks(y_lo, y_hi)
+        y_hi = max(ticks + [y_hi])
+        c = self.canvas
+        c.frame(ticks, y_lo, y_hi)
+        c.legend([name for name, _ in self.series])
+        n_groups = len(self.categories)
+        n_series = len(self.series)
+        group_w = c.plot_w / n_groups
+        # thin bars with a 2px surface gap between neighbours
+        bar_w = min(26.0, (group_w * 0.7 - 2 * (n_series - 1)) / n_series)
+        base = c.sy(0.0)
+        for g, cat in enumerate(self.categories):
+            cx = c.margin["left"] + (g + 0.5) * group_w
+            first = cx - (n_series * bar_w + (n_series - 1) * 2) / 2
+            for i, (name, vs) in enumerate(self.series):
+                v = vs[g]
+                h = (v / y_hi) * c.plot_h if y_hi else 0.0
+                x = first + i * (bar_w + 2)
+                y = base - h
+                color = PALETTE[i]
+                tip = escape(f"{name} / {cat}: {_fmt(v)}")
+                c.parts.append(
+                    f"<path d='M{x:.1f},{base:.1f} V{y + 4:.1f} "
+                    f"Q{x:.1f},{y:.1f} {x + 4:.1f},{y:.1f} "
+                    f"H{x + bar_w - 4:.1f} "
+                    f"Q{x + bar_w:.1f},{y:.1f} {x + bar_w:.1f},{y + 4:.1f} "
+                    f"V{base:.1f} Z' fill='{color}'>"
+                    f"<title>{tip}</title></path>"
+                )
+            c.parts.append(
+                f"<text x='{cx:.1f}' y='{base + 14:.1f}' {FONT} "
+                f"font-size='9' text-anchor='middle' "
+                f"fill='{TEXT_SECONDARY}'>{escape(cat)}</text>"
+            )
+        return c.render()

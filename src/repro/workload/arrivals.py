@@ -1,0 +1,124 @@
+"""Drives a :class:`~repro.workload.streams.WorkloadSpec` into a system.
+
+Arrivals are generated lazily -- each arrival event schedules the next
+one -- so multi-million-query runs never materialise their arrival list.
+The driver owns the rank-to-node permutation and redraws it at segment
+boundaries flagged ``reshuffle`` (instantaneous random popularity
+change); Zipf samplers are cached per distinct alpha.
+
+Segment boundaries are anchored at the driver's start time, so a
+workload can begin at any point of an already-running simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.cluster.system import System
+from repro.sim.rng import ZipfSampler, exponential
+from repro.workload.streams import WorkloadSpec
+
+
+class WorkloadDriver:
+    """Schedules Poisson query arrivals for one workload spec."""
+
+    __slots__ = (
+        "system",
+        "spec",
+        "_rng",
+        "_perm",
+        "_samplers",
+        "_boundaries",
+        "_segment_idx",
+        "_t0",
+        "_end_time",
+        "_started",
+        "n_generated",
+        "n_reshuffles",
+    )
+
+    def __init__(self, system: System, spec: WorkloadSpec) -> None:
+        self.system = system
+        self.spec = spec
+        self._rng = random.Random(spec.seed ^ 0xA11CE5)
+        n = len(system.ns)
+        self._perm: List[int] = list(range(n))
+        self._rng.shuffle(self._perm)
+        self._samplers: Dict[float, ZipfSampler] = {}
+        self._boundaries = spec.boundaries()
+        self._segment_idx = 0
+        self._t0 = 0.0
+        self._end_time = self._boundaries[-1]
+        self._started = False
+        self.n_generated = 0
+        self.n_reshuffles = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin generating arrivals at simulated time ``at``.
+
+        Defaults to the engine's current time; segment boundaries are
+        relative to this instant.
+        """
+        if self._started:
+            raise RuntimeError("driver already started")
+        self._started = True
+        now = self.system.engine.now
+        self._t0 = now if at is None else max(at, now)
+        self._end_time = self._t0 + self._boundaries[-1]
+        offset = self._t0 + exponential(self._rng, 1.0 / self.spec.rate)
+        self.system.engine.schedule(offset, self._arrival)
+
+    @property
+    def end_time(self) -> float:
+        """Absolute simulation time of the last possible arrival."""
+        return self._end_time
+
+    def run(self, extra_time: float = 5.0) -> None:
+        """Convenience: start now and run the system until the stream
+        ends plus ``extra_time`` for in-flight queries to drain."""
+        if not self._started:
+            self.start()
+        self.system.run_until(self._end_time + extra_time)
+
+    # ------------------------------------------------------------------
+
+    def _sampler(self, alpha: float) -> ZipfSampler:
+        s = self._samplers.get(alpha)
+        if s is None:
+            s = ZipfSampler(len(self.system.ns), alpha)
+            self._samplers[alpha] = s
+        return s
+
+    def _advance_segment(self, now: float) -> bool:
+        """Move to the segment containing ``now``; False when past the end."""
+        if now >= self._end_time:
+            return False
+        rel = now - self._t0
+        idx = self._segment_idx
+        while rel >= self._boundaries[idx]:
+            idx += 1
+            if self.spec.segments[idx].reshuffle:
+                self._rng.shuffle(self._perm)
+                self.n_reshuffles += 1
+        self._segment_idx = idx
+        return True
+
+    def _arrival(self) -> None:
+        now = self.system.engine.now
+        if not self._advance_segment(now):
+            return
+        seg = self.spec.segments[self._segment_idx]
+        rng = self._rng
+        src = rng.randrange(len(self.system.peers))
+        if seg.alpha == 0.0:
+            dest = rng.randrange(len(self._perm))
+        else:
+            rank = self._sampler(seg.alpha).sample(rng)
+            dest = self._perm[rank]
+        self.system.inject(src, dest)
+        self.n_generated += 1
+        gap = exponential(rng, 1.0 / self.spec.rate)
+        self.system.engine.schedule(now + gap, self._arrival)

@@ -1,0 +1,128 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+
+from repro.filters.bloom import (
+    BloomFilter,
+    optimal_bits,
+    optimal_hashes,
+)
+
+
+class TestSizing:
+    def test_optimal_bits_monotone_in_capacity(self):
+        assert optimal_bits(1000, 0.01) > optimal_bits(100, 0.01)
+
+    def test_optimal_bits_monotone_in_fp(self):
+        assert optimal_bits(100, 0.001) > optimal_bits(100, 0.1)
+
+    def test_optimal_bits_word_aligned(self):
+        assert optimal_bits(100, 0.01) % 64 == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            optimal_bits(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 1.0)
+        with pytest.raises(ValueError):
+            optimal_hashes(100, 0)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bf = BloomFilter.with_capacity(200, fp_rate=0.01)
+        keys = list(range(0, 2000, 10))
+        bf.update(keys)
+        for k in keys:
+            assert k in bf
+
+    def test_empty_contains_nothing(self):
+        bf = BloomFilter.with_capacity(100)
+        assert all(k not in bf for k in range(100))
+
+    def test_fp_rate_reasonable(self):
+        bf = BloomFilter.with_capacity(500, fp_rate=0.01)
+        bf.update(range(500))
+        fps = sum(1 for k in range(10_000, 30_000) if k in bf)
+        assert fps / 20_000 < 0.05  # generous bound on the 1% design point
+
+    def test_clear(self):
+        bf = BloomFilter.with_capacity(100)
+        bf.add(7)
+        bf.clear()
+        assert 7 not in bf
+        assert bf.n_items == 0
+
+
+class TestSnapshot:
+    def test_snapshot_immutable_under_later_adds(self):
+        bf = BloomFilter.with_capacity(100)
+        bf.add(1)
+        snap = bf.snapshot()
+        bf.add(2)
+        assert bf.test_snapshot(snap, 1)
+        assert not bf.test_snapshot(snap, 2)
+        assert 2 in bf
+
+    def test_cross_filter_snapshot_evaluation(self):
+        """Same-geometry filters can evaluate each other's snapshots."""
+        a = BloomFilter(512, 5, salt=9)
+        b = BloomFilter(512, 5, salt=9)
+        b.add(42)
+        assert a.test_snapshot(b.snapshot(), 42)
+        assert not a.test_snapshot(b.snapshot(), 43)
+
+
+class TestPositionCache:
+    def test_shared_cache(self):
+        a = BloomFilter(512, 5, salt=9)
+        b = BloomFilter(512, 5, salt=9)
+        b.share_cache_with(a)
+        a.add(10)
+        b.add(11)
+        assert 10 in a and 11 in b
+        assert a.pos_cache is b.pos_cache
+        assert 10 in a.pos_cache and 11 in a.pos_cache
+
+    def test_share_rejects_geometry_mismatch(self):
+        a = BloomFilter(512, 5)
+        b = BloomFilter(512, 4)
+        with pytest.raises(ValueError):
+            b.share_cache_with(a)
+
+
+class TestUnion:
+    def test_union_contains_both(self):
+        a = BloomFilter(512, 5, salt=1)
+        b = BloomFilter(512, 5, salt=1)
+        a.add(1)
+        b.add(2)
+        u = a | b
+        assert 1 in u and 2 in u
+
+    def test_union_rejects_mismatch(self):
+        a = BloomFilter(512, 5, salt=1)
+        b = BloomFilter(512, 5, salt=2)
+        with pytest.raises(ValueError):
+            a | b
+
+
+class TestDiagnostics:
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter.with_capacity(100)
+        assert bf.fill_ratio == 0.0
+        bf.update(range(50))
+        assert 0.0 < bf.fill_ratio < 1.0
+
+    def test_expected_fp_rate_bounds(self):
+        bf = BloomFilter.with_capacity(100, fp_rate=0.01)
+        bf.update(range(100))
+        assert 0.0 < bf.expected_fp_rate() < 0.1
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 3)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)

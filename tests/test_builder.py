@@ -1,0 +1,122 @@
+"""Unit tests for system assembly."""
+
+import pytest
+
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.namespace.generators import balanced_tree
+
+
+class TestBuild:
+    def test_every_node_owned_exactly_once(self):
+        ns = balanced_tree(levels=5)
+        system = build_system(ns, SystemConfig(n_servers=8, seed=1))
+        seen = {}
+        for p in system.peers:
+            for v in p.owned:
+                assert v not in seen
+                seen[v] = p.sid
+        assert len(seen) == len(ns)
+
+    def test_every_server_owns_at_least_one(self):
+        ns = balanced_tree(levels=5)
+        system = build_system(ns, SystemConfig(n_servers=8, seed=1))
+        assert all(len(p.owned) >= 1 for p in system.peers)
+
+    def test_owner_array_matches_peers(self):
+        ns = balanced_tree(levels=5)
+        system = build_system(ns, SystemConfig(n_servers=8, seed=1))
+        for v in range(len(ns)):
+            assert v in system.peers[system.owner[v]].owned
+
+    def test_neighbor_contexts_wired(self):
+        """Every owned node's neighbors have pinned maps pointing at
+        the true owner (routing with incremental progress from t=0)."""
+        ns = balanced_tree(levels=5)
+        system = build_system(ns, SystemConfig(n_servers=8, seed=1))
+        for p in system.peers:
+            for v in p.owned:
+                for nbr in ns.neighbors(v):
+                    assert nbr in p.maps
+                    assert system.owner[nbr] in p.maps[nbr]
+
+    def test_digest_seeded_with_owned(self):
+        ns = balanced_tree(levels=5)
+        system = build_system(ns, SystemConfig(n_servers=8, seed=1))
+        for p in system.peers:
+            for v in p.owned:
+                assert v in p.digest
+
+    def test_digests_share_position_cache(self):
+        ns = balanced_tree(levels=4)
+        system = build_system(ns, SystemConfig(n_servers=4, seed=1))
+        caches = {id(p.digest.bloom.pos_cache) for p in system.peers}
+        assert len(caches) == 1
+
+    def test_bootstrap_known_loads(self):
+        ns = balanced_tree(levels=5)
+        cfg = SystemConfig(n_servers=8, seed=1, bootstrap_known_peers=3)
+        system = build_system(ns, cfg)
+        for p in system.peers:
+            assert len(p.known_loads) == 3
+            assert p.sid not in p.known_loads
+
+    def test_explicit_owner_assignment(self):
+        ns = balanced_tree(levels=3)  # 15 nodes
+        owner = [v % 3 for v in range(len(ns))]
+        system = build_system(ns, SystemConfig(n_servers=3, seed=1), owner=owner)
+        assert sorted(system.peers[0].owned) == [v for v in range(15) if v % 3 == 0]
+
+    def test_rejects_more_servers_than_nodes(self):
+        ns = balanced_tree(levels=2)  # 7 nodes
+        with pytest.raises(ValueError):
+            build_system(ns, SystemConfig(n_servers=8))
+
+    def test_rejects_bad_owner_length(self):
+        ns = balanced_tree(levels=2)
+        with pytest.raises(ValueError):
+            build_system(ns, SystemConfig(n_servers=2), owner=[0, 1])
+
+    def test_rejects_out_of_range_owner(self):
+        ns = balanced_tree(levels=2)
+        with pytest.raises(ValueError):
+            build_system(ns, SystemConfig(n_servers=2), owner=[5] * len(ns))
+
+    def test_deterministic_given_seed(self):
+        ns = balanced_tree(levels=4)
+        a = build_system(ns, SystemConfig(n_servers=4, seed=9))
+        b = build_system(ns, SystemConfig(n_servers=4, seed=9))
+        assert [sorted(p.owned) for p in a.peers] == [
+            sorted(p.owned) for p in b.peers
+        ]
+
+
+class TestConfigPresets:
+    def test_base_disables_everything(self):
+        cfg = SystemConfig.base()
+        assert not cfg.caching_enabled
+        assert not cfg.replication_enabled
+        assert not cfg.digests_enabled
+
+    def test_caching_preset(self):
+        cfg = SystemConfig.caching()
+        assert cfg.caching_enabled and not cfg.replication_enabled
+
+    def test_replicated_preset(self):
+        cfg = SystemConfig.replicated()
+        assert cfg.caching_enabled and cfg.replication_enabled
+        assert cfg.digests_enabled
+
+    def test_replace(self):
+        cfg = SystemConfig().replace(n_servers=42)
+        assert cfg.n_servers == 42
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_servers=0)
+        with pytest.raises(ValueError):
+            SystemConfig(l_high=0.0)
+        with pytest.raises(ValueError):
+            SystemConfig(service_mean=-1.0)
+        with pytest.raises(ValueError):
+            SystemConfig(rmap=0)

@@ -1,0 +1,54 @@
+"""Tests for utilisation calibration."""
+
+import pytest
+
+from repro.experiments.calibration import calibrate_rate, measure_utilization
+from repro.experiments.common import Scale
+
+MICRO = Scale(
+    name="tiny", ns_levels=7, nc_nodes=500, n_servers=8,
+    warmup=2.0, phase=2.0, n_phases=1, drain=2.0, cache_slots=8,
+    digest_probe_limit=1,
+)
+
+
+class TestMeasure:
+    def test_probe_returns_metrics(self):
+        r = measure_utilization(MICRO, rate=150.0, probe_duration=5.0, seed=1)
+        assert 0.0 <= r["utilization"] <= 1.0
+        assert r["mean_hops"] > 0
+        assert 0.0 <= r["drop_fraction"] <= 1.0
+
+    def test_utilization_monotone_in_rate(self):
+        lo = measure_utilization(MICRO, rate=80.0, probe_duration=6.0, seed=1)
+        hi = measure_utilization(MICRO, rate=320.0, probe_duration=6.0, seed=1)
+        assert hi["utilization"] > lo["utilization"]
+
+
+class TestCalibrate:
+    def test_converges_to_target(self):
+        r = calibrate_rate(0.3, scale=MICRO, tolerance=0.15,
+                           probe_duration=6.0, seed=2)
+        assert r["converged"] == 1.0
+        assert r["utilization"] == pytest.approx(0.3, rel=0.15)
+        assert r["rate"] > 0
+
+    def test_bad_estimate_corrected(self):
+        """Even a wildly wrong hops estimate calibrates out."""
+        bad = Scale(
+            name="tiny", ns_levels=7, nc_nodes=500, n_servers=8,
+            warmup=2.0, phase=2.0, n_phases=1, drain=2.0, cache_slots=8,
+            digest_probe_limit=1, hops_estimate=30.0,  # ~10x too high
+        )
+        r = calibrate_rate(0.25, scale=bad, tolerance=0.2,
+                           probe_duration=6.0, seed=3)
+        assert r["converged"] == 1.0
+        assert r["iterations"] >= 2  # the first probe must have missed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_rate(0.0, scale=MICRO)
+        with pytest.raises(ValueError):
+            calibrate_rate(0.95, scale=MICRO)
+        with pytest.raises(ValueError):
+            calibrate_rate(0.3, scale=MICRO, tolerance=0.0)

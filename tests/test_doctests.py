@@ -1,0 +1,37 @@
+"""Run the doctest examples embedded in module and class docstrings."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _modules_with_doctests():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mod = importlib.import_module(info.name)
+        finder = doctest.DocTestFinder(exclude_empty=True)
+        tests = [t for t in finder.find(mod) if t.examples]
+        if tests:
+            out.append(info.name)
+    return sorted(out)
+
+
+MODULES = _modules_with_doctests()
+
+
+def test_doctest_examples_exist():
+    """The public API keeps runnable examples in its docstrings."""
+    assert len(MODULES) >= 4, MODULES
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_doctests(name):
+    mod = importlib.import_module(name)
+    result = doctest.testmod(mod, optionflags=doctest.ELLIPSIS)
+    assert result.failed == 0, f"{name}: {result.failed} doctest failures"
+    # attempted may be 0 when a module's examples are all +SKIP
+    assert result.attempted >= 0

@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(2.0, order.append, "b")
+        eng.schedule(1.0, order.append, "a")
+        eng.schedule(3.0, order.append, "c")
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        eng = Engine()
+        order = []
+        for tag in "abc":
+            eng.schedule(1.0, order.append, tag)
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [1.5]
+        assert eng.now == 1.5
+
+    def test_rejects_past(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimError):
+            eng.schedule(0.5, lambda: None)
+
+    def test_schedule_after(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.0, lambda: eng.schedule_after(0.5, lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimError):
+            eng.schedule_after(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_until_stops_and_advances_clock(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(1.0, seen.append, 1)
+        eng.schedule(5.0, seen.append, 5)
+        eng.run(until=2.0)
+        assert seen == [1]
+        assert eng.now == 2.0
+        eng.run()
+        assert seen == [1, 5]
+
+    def test_max_events(self):
+        eng = Engine()
+        seen = []
+        for i in range(10):
+            eng.schedule(float(i), seen.append, i)
+        eng.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_empty_run_until_advances_clock(self):
+        eng = Engine()
+        eng.run(until=7.0)
+        assert eng.now == 7.0
+
+    def test_dispatch_counter(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule(float(i), lambda: None)
+        eng.run()
+        assert eng.n_dispatched == 4
+
+    def test_not_reentrant(self):
+        eng = Engine()
+
+        def reenter():
+            eng.run()
+
+        eng.schedule(1.0, reenter)
+        with pytest.raises(SimError):
+            eng.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        seen = []
+        h = eng.schedule(1.0, seen.append, "x", handle=True)
+        h.cancel()
+        eng.run()
+        assert seen == []
+
+    def test_peek_time(self):
+        eng = Engine()
+        assert eng.peek_time() is None
+        eng.schedule(3.0, lambda: None)
+        assert eng.peek_time() == 3.0
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.run()
+        eng.schedule(9.0, lambda: None)
+        eng.reset()
+        assert eng.now == 0.0
+        assert len(eng) == 0
+        assert eng.peek_time() is None

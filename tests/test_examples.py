@@ -1,0 +1,31 @@
+"""Every example script runs end to end (examples never rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print a report"
+
+
+def test_every_example_has_a_docstring():
+    import ast
+
+    for script in EXAMPLES:
+        tree = ast.parse(script.read_text())
+        assert ast.get_docstring(tree), script.name

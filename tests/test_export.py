@@ -1,0 +1,81 @@
+"""Tests for CSV/JSON metric export."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    fig5_to_csv,
+    matrix_to_csv,
+    series_to_csv,
+    summary_to_json,
+    system_series_to_csv,
+)
+
+
+class TestSeriesCsv:
+    def test_columns_and_rows(self):
+        buf = io.StringIO()
+        n = series_to_csv(buf, {"a": [1.0, 2.0], "b": [3.0]})
+        assert n == 2
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "bin,a,b"
+        assert lines[1] == "0,1.0,3.0"
+        assert lines[2] == "1,2.0,"  # padded
+
+    def test_empty(self):
+        buf = io.StringIO()
+        assert series_to_csv(buf, {}) == 0
+
+
+class TestSystemCsv:
+    def test_live_system_dump(self):
+        from repro.cluster.builder import build_system
+        from repro.cluster.config import SystemConfig
+        from repro.namespace.generators import balanced_tree
+        from repro.workload.arrivals import WorkloadDriver
+        from repro.workload.streams import unif_stream
+
+        ns = balanced_tree(levels=5)
+        system = build_system(
+            ns, SystemConfig.replicated(n_servers=4, seed=1,
+                                        digest_probe_limit=1)
+        )
+        WorkloadDriver(system, unif_stream(100.0, 4.0, seed=1)).run()
+        buf = io.StringIO()
+        rows = system_series_to_csv(buf, system)
+        assert rows >= 4
+        header = buf.getvalue().splitlines()[0]
+        for col in ("injected", "drops", "load_mean", "load_max"):
+            assert col in header
+
+
+class TestJson:
+    def test_summary_roundtrip(self):
+        buf = io.StringIO()
+        summary_to_json(buf, {"x": 1.5, "y": 2.0})
+        assert json.loads(buf.getvalue()) == {"x": 1.5, "y": 2.0}
+
+
+class TestMatrix:
+    def test_layout(self):
+        buf = io.StringIO()
+        matrix_to_csv(buf, ["r1"], ["c1", "c2"], [[1.0, 2.0]], corner="k")
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "k,c1,c2"
+        assert lines[1] == "r1,1.0,2.0"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            matrix_to_csv(io.StringIO(), ["r1", "r2"], ["c"], [[1.0]])
+        with pytest.raises(ValueError):
+            matrix_to_csv(io.StringIO(), ["r1"], ["c1", "c2"], [[1.0]])
+
+    def test_fig5_table(self):
+        buf = io.StringIO()
+        fig5_to_csv(buf, {"B": {"unifS": 0.5}, "BCR": {"unifS": 0.1}})
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == "preset,unifS"
+        assert lines[1] == "B,0.5"
+        assert lines[2] == "BCR,0.1"

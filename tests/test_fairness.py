@@ -1,0 +1,108 @@
+"""Tests for fairness and adaptation-speed metrics."""
+
+import pytest
+
+from repro.analysis.fairness import (
+    jain_index,
+    load_imbalance,
+    spike_recovery_times,
+)
+
+
+class TestJain:
+    def test_perfect_balance(self):
+        assert jain_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_single_loaded(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        vals = [0.9, 0.1, 0.4, 0.7]
+        idx = jain_index(vals)
+        assert 1.0 / len(vals) <= idx <= 1.0
+
+    def test_scale_invariant(self):
+        a = [1.0, 2.0, 3.0]
+        b = [10.0, 20.0, 30.0]
+        assert jain_index(a) == pytest.approx(jain_index(b))
+
+    def test_zero_population_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert load_imbalance([0.3, 0.3]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert load_imbalance([1.0, 0.0]) == pytest.approx(2.0)
+
+    def test_zero(self):
+        assert load_imbalance([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_imbalance([])
+
+
+class TestSpikeRecovery:
+    def test_immediate_recovery(self):
+        series = [0.0] * 10
+        assert spike_recovery_times(series, [3.0], threshold=0.1) == [0.0]
+
+    def test_recovery_after_spike(self):
+        series = [0, 0, 0, 9, 8, 7, 0, 0, 0, 0]
+        out = spike_recovery_times(series, [3.0], threshold=1.0)
+        assert out == [3.0]
+
+    def test_single_bin_dip_skipped(self):
+        # dips to 0 at bin 5 but spikes again at 6: not recovered yet
+        series = [0, 0, 0, 9, 8, 0, 7, 0, 0, 0]
+        out = spike_recovery_times(series, [3.0], threshold=1.0)
+        assert out == [4.0]
+
+    def test_never_recovers(self):
+        series = [5.0] * 6
+        assert spike_recovery_times(series, [1.0], threshold=1.0) == [None]
+
+    def test_event_beyond_series(self):
+        assert spike_recovery_times([0.0], [10.0], threshold=1.0) == [None]
+
+    def test_multiple_events(self):
+        series = [0, 9, 0, 0, 9, 9, 0, 0]
+        out = spike_recovery_times(series, [1.0, 4.0], threshold=1.0)
+        assert out == [1.0, 2.0]
+
+    def test_bin_width(self):
+        series = [0, 9, 0, 0]
+        out = spike_recovery_times(series, [0.5], threshold=1.0,
+                                   bin_width=0.5)
+        assert out == [0.5]
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            spike_recovery_times([1.0], [0.0], threshold=-1.0)
+
+
+class TestSystemFairness:
+    def test_utilization_fairness_on_live_system(self):
+        from repro.analysis.fairness import utilization_fairness
+        from repro.cluster.builder import build_system
+        from repro.cluster.config import SystemConfig
+        from repro.namespace.generators import balanced_tree
+        from repro.workload.arrivals import WorkloadDriver
+        from repro.workload.streams import unif_stream
+
+        ns = balanced_tree(levels=6)
+        system = build_system(
+            ns, SystemConfig.replicated(n_servers=8, seed=3,
+                                        digest_probe_limit=1)
+        )
+        WorkloadDriver(system, unif_stream(300.0, 8.0, seed=3)).run()
+        f = utilization_fairness(system)
+        assert 0.0 < f["jain_of_mean_series"] <= 1.0
+        assert f["peak_imbalance"] >= 1.0

@@ -1,0 +1,123 @@
+"""Tests for graph-rooted (DAG) namespaces."""
+
+import pytest
+
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.namespace.generators import balanced_tree
+from repro.namespace.graph import GraphNamespace, mesh_of_trees
+from repro.workload.arrivals import WorkloadDriver
+from repro.workload.streams import unif_stream
+
+
+class TestConstruction:
+    def test_cross_links_extend_neighbors(self):
+        ns = balanced_tree(levels=3)
+        a, b = ns.nodes_at_depth(3)[0], ns.nodes_at_depth(3)[-1]
+        g = GraphNamespace.from_tree(ns, [(a, b)])
+        assert b in g.neighbors(a)
+        assert a in g.neighbors(b)
+        assert g.n_cross_links == 1
+
+    def test_tree_neighbors_unchanged(self):
+        ns = balanced_tree(levels=3)
+        a, b = ns.nodes_at_depth(3)[0], ns.nodes_at_depth(3)[-1]
+        g = GraphNamespace.from_tree(ns, [(a, b)])
+        assert g.neighbors_tree(a) == ns.neighbors(a)
+
+    def test_duplicate_and_tree_edges_skipped(self):
+        ns = balanced_tree(levels=2)
+        child = ns.children[0][0]
+        g = GraphNamespace.from_tree(ns, [(0, child), (1, 2), (1, 2)])
+        assert g.n_cross_links == 1  # (0, child) is a tree edge; dup dropped
+
+    def test_rejects_bad_links(self):
+        ns = balanced_tree(levels=2)
+        with pytest.raises(ValueError):
+            GraphNamespace.from_tree(ns, [(0, 99)])
+        with pytest.raises(ValueError):
+            GraphNamespace.from_tree(ns, [(1, 1)])
+
+    def test_names_and_distance_are_tree_based(self):
+        ns = balanced_tree(levels=3)
+        a, b = ns.nodes_at_depth(3)[0], ns.nodes_at_depth(3)[-1]
+        g = GraphNamespace.from_tree(ns, [(a, b)])
+        assert g.distance(a, b) == ns.distance(a, b)  # spanning-tree metric
+        assert g.name_of(a) == ns.name_of(a)
+
+
+class TestGraphDistance:
+    def test_cross_link_shortens_graph_distance(self):
+        ns = balanced_tree(levels=4)
+        a = ns.nodes_at_depth(4)[0]
+        b = ns.nodes_at_depth(4)[-1]
+        g = GraphNamespace.from_tree(ns, [(a, b)])
+        assert g.graph_distance(a, b) == 1
+        assert g.distance(a, b) == 8  # tree metric unchanged
+
+    def test_graph_distance_bounded_by_tree(self):
+        g = mesh_of_trees(levels=4)
+        for a in (3, 7, 20):
+            for b in (5, 9, 28):
+                assert g.graph_distance(a, b) <= g.distance(a, b)
+
+    def test_identity(self):
+        g = mesh_of_trees(levels=3)
+        assert g.graph_distance(4, 4) == 0
+
+
+class TestMeshOfTrees:
+    def test_ring_links_exist(self):
+        g = mesh_of_trees(levels=4, link_depth=2)
+        ring = g.nodes_at_depth(2)
+        # stride-2 pairs on a 4-ring collapse to 2 unique links
+        assert g.n_cross_links >= len(ring) // 2
+        for v in ring:
+            assert any(u in g.cross.get(v, ()) for u in ring)
+
+
+class TestRoutingOnGraph:
+    def _system(self):
+        g = mesh_of_trees(levels=6, link_depth=2)
+        cfg = SystemConfig.replicated(n_servers=8, seed=17,
+                                      digest_probe_limit=1)
+        return g, build_system(g, cfg)
+
+    def test_contexts_include_cross_links(self):
+        g, system = self._system()
+        ring = g.nodes_at_depth(2)
+        v = ring[0]
+        owner = system.peers[system.owner[v]]
+        for nbr in g.neighbors(v):
+            assert nbr in owner.maps
+
+    def test_lookups_complete_on_graph_namespace(self):
+        g, system = self._system()
+        drv = WorkloadDriver(system, unif_stream(200.0, 6.0, seed=2))
+        drv.run()
+        assert system.stats.completion_fraction > 0.95
+
+    def test_cross_links_shorten_routes(self):
+        """Same workload, same seed: the graph-rooted namespace routes
+        in at most as many hops as the plain tree (cross links only add
+        shortcut candidates)."""
+        def run(ns):
+            cfg = SystemConfig.replicated(n_servers=8, seed=17,
+                                          digest_probe_limit=1)
+            system = build_system(ns, cfg)
+            WorkloadDriver(system, unif_stream(200.0, 8.0, seed=2)).run()
+            return system.stats.mean_hops
+
+        tree_hops = run(balanced_tree(levels=6))
+        graph_hops = run(mesh_of_trees(levels=6, link_depth=2))
+        assert graph_hops <= tree_hops + 0.05
+
+    def test_replica_of_cross_linked_node_carries_links(self):
+        g, system = self._system()
+        ring = g.nodes_at_depth(2)
+        v = ring[0]
+        owner = system.peers[system.owner[v]]
+        other = system.peers[(owner.sid + 1) % 8]
+        other.install_replica(owner.build_replica_payload(v), 0.0)
+        for nbr in g.neighbors(v):
+            assert nbr in other.maps

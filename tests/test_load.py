@@ -1,0 +1,137 @@
+"""Unit tests for the busy-window load metric (paper section 3.1)."""
+
+import pytest
+
+from repro.core.load import BusyWindowLoadMeter
+
+
+class TestBusyAccounting:
+    def test_idle_window_zero(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        assert m.roll(1.0) == 0.0
+
+    def test_fully_busy_window(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(1.0)
+        assert m.roll(1.0) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(0.5)
+        assert m.roll(1.0) == pytest.approx(0.5)
+
+    def test_service_split_across_boundary(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.5)
+        assert m.roll(1.0) == pytest.approx(0.5)
+        m.service_finished(1.5)
+        assert m.roll(2.0) == pytest.approx(0.5)
+
+    def test_double_start_rejected(self):
+        m = BusyWindowLoadMeter()
+        m.service_started(0.0)
+        with pytest.raises(RuntimeError):
+            m.service_started(0.1)
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            BusyWindowLoadMeter().service_finished(1.0)
+
+    def test_busy_flag(self):
+        m = BusyWindowLoadMeter()
+        assert not m.busy
+        m.service_started(0.0)
+        assert m.busy
+
+
+class TestLoadReading:
+    def test_normalized_range(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(1.0)
+        m.roll(1.0)
+        assert 0.0 <= m.load() <= 1.0
+
+    def test_partial_window_sees_spike(self):
+        """A server saturated mid-window reads high load before roll."""
+        m = BusyWindowLoadMeter(window=1.0)
+        m.roll(1.0)  # last window idle
+        m.service_started(1.0)
+        assert m.load(now=1.9) > 0.8
+
+    def test_partial_window_weighting(self):
+        """Early in a window the previous measurement dominates."""
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(1.0)
+        m.roll(1.0)  # measured 1.0
+        assert m.load(now=1.05) > 0.9  # idle sliver barely dents it
+
+    def test_measured_is_last_window(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(0.25)
+        m.roll(1.0)
+        assert m.measured() == pytest.approx(0.25)
+
+
+class TestLinearComparability:
+    def test_ratio_semantics(self):
+        """Paper requirement 1: l1/l2 means server 1 has that multiple
+        of server 2's load."""
+        m1 = BusyWindowLoadMeter(window=1.0)
+        m2 = BusyWindowLoadMeter(window=1.0)
+        m1.service_started(0.0)
+        m1.service_finished(0.8)
+        m2.service_started(0.0)
+        m2.service_finished(0.2)
+        l1, l2 = m1.roll(1.0), m2.roll(1.0)
+        assert l1 / l2 == pytest.approx(4.0)
+
+
+class TestHysteresis:
+    def test_adjustment_applied(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(1.0)
+        m.roll(1.0)
+        m.apply_adjustment(-0.4)
+        assert m.load() == pytest.approx(0.6)
+
+    def test_adjustment_decays(self):
+        m = BusyWindowLoadMeter(window=1.0, adjust_decay=0.5)
+        m.apply_adjustment(0.8)
+        m.roll(1.0)
+        m.roll(2.0)
+        assert m.load() == pytest.approx(0.2)
+
+    def test_adjustment_clamped(self):
+        m = BusyWindowLoadMeter(window=1.0)
+        m.apply_adjustment(5.0)
+        assert m.load() == 1.0
+        m.apply_adjustment(-50.0)
+        assert m.load() == 0.0
+
+    def test_prevents_thrash(self):
+        """After booking the transfer, the source immediately reads a
+        lower load even though measurements have not caught up --
+        exactly the anti-thrashing hysteresis of creation step 4."""
+        m = BusyWindowLoadMeter(window=1.0)
+        m.service_started(0.0)
+        m.service_finished(1.0)
+        m.roll(1.0)  # measured fully loaded
+        ls, lt = 1.0, 0.2
+        m.apply_adjustment(-(ls - lt) / 2)
+        assert m.load() == pytest.approx(0.6)
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            BusyWindowLoadMeter(window=0.0)
+
+    def test_bad_decay(self):
+        with pytest.raises(ValueError):
+            BusyWindowLoadMeter(adjust_decay=2.0)

@@ -1,0 +1,111 @@
+"""Unit tests for node mapping management (paper section 3.7)."""
+
+import random
+
+import pytest
+
+from repro.core.maps import NodeMap, merge_maps, select_host
+
+
+class TestMergeMaps:
+    def test_bounded_by_rmap(self):
+        rng = random.Random(0)
+        out = merge_maps([1, 2, 3], [4, 5, 6], rmap=4, rng=rng)
+        assert len(out) == 4
+        assert len(set(out)) == 4
+
+    def test_advertised_always_kept(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            out = merge_maps([1, 2, 3, 4], [5, 6, 7, 8], rmap=3, rng=rng,
+                             advertised=(9,))
+            assert out[0] == 9
+
+    def test_advertised_capped_at_rmap(self):
+        rng = random.Random(0)
+        out = merge_maps([], [], rmap=2, rng=rng, advertised=(1, 2, 3))
+        assert out == [1, 2]
+
+    def test_union_when_room(self):
+        rng = random.Random(0)
+        out = merge_maps([1], [2], rmap=4, rng=rng)
+        assert set(out) == {1, 2}
+
+    def test_dedupes(self):
+        rng = random.Random(0)
+        out = merge_maps([1, 2], [2, 1], rmap=4, rng=rng)
+        assert sorted(out) == [1, 2]
+
+    def test_random_fill_varies(self):
+        """Two merges of the same maps may differ -- the paper merges
+        twice (kept vs propagated) to diversify map configurations."""
+        rng = random.Random(1)
+        pool_a = list(range(10))
+        results = {tuple(sorted(merge_maps(pool_a, [], 3, rng)))
+                   for _ in range(30)}
+        assert len(results) > 1
+
+    def test_rejects_bad_rmap(self):
+        with pytest.raises(ValueError):
+            merge_maps([], [], rmap=0, rng=random.Random(0))
+
+
+class TestSelectHost:
+    def test_none_on_empty(self):
+        assert select_host([], random.Random(0)) is None
+
+    def test_excludes_self(self):
+        assert select_host([7], random.Random(0), exclude=7) is None
+        assert select_host([7, 8], random.Random(0), exclude=7) == 8
+
+    def test_uniform_choice(self):
+        rng = random.Random(0)
+        seen = {select_host([1, 2, 3], rng) for _ in range(100)}
+        assert seen == {1, 2, 3}
+
+
+class TestNodeMap:
+    def test_add_respects_bound(self):
+        m = NodeMap(node=1, rmap=2)
+        assert m.add(10)
+        assert m.add(11)
+        assert not m.add(12)
+        assert len(m) == 2
+
+    def test_add_dedupes(self):
+        m = NodeMap(node=1, rmap=4)
+        assert m.add(10)
+        assert not m.add(10)
+
+    def test_add_preferred_evicts_when_full(self):
+        m = NodeMap(node=1, rmap=2, servers=[10, 11])
+        m.add_preferred(12)
+        assert 12 in m
+        assert len(m) == 2
+
+    def test_discard(self):
+        m = NodeMap(node=1, rmap=4, servers=[10])
+        assert m.discard(10)
+        assert not m.discard(10)
+
+    def test_merge(self):
+        m = NodeMap(node=1, rmap=3, servers=[1, 2])
+        m.merge([3, 4], random.Random(0), advertised=(9,))
+        assert m.servers[0] == 9
+        assert len(m) == 3
+
+    def test_filter_prunes(self):
+        """Digest-based pruning: entries failing the digest test go."""
+        m = NodeMap(node=1, rmap=4, servers=[1, 2, 3])
+        dropped = m.filter(lambda s: s != 2)
+        assert dropped == 1
+        assert sorted(m.servers) == [1, 3]
+
+    def test_select(self):
+        m = NodeMap(node=1, rmap=4, servers=[5])
+        assert m.select(random.Random(0)) == 5
+        assert m.select(random.Random(0), exclude=5) is None
+
+    def test_rejects_bad_rmap(self):
+        with pytest.raises(ValueError):
+            NodeMap(node=1, rmap=0)

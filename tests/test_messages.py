@@ -1,0 +1,100 @@
+"""Direct tests for message types and their piggyback contracts."""
+
+import pytest
+
+from repro.net.message import (
+    Advertisement,
+    DataReply,
+    DataRequest,
+    ProbeMessage,
+    ProbeReplyMessage,
+    QueryMessage,
+    ReplicaPayload,
+    ResponseMessage,
+    TransferAckMessage,
+    TransferMessage,
+)
+
+
+class TestQueryMessage:
+    def test_initial_state(self):
+        m = QueryMessage(qid=1, dest=5, origin=3, created_at=2.5)
+        assert m.hops == 0
+        assert m.sender == 3
+        assert m.via == -1
+        assert m.dest_map == []
+        assert m.path == []
+        assert m.adverts == []
+        assert m.stale_hops == 0
+
+    def test_slots_reject_unknown_attributes(self):
+        m = QueryMessage(1, 5, 3, 0.0)
+        with pytest.raises(AttributeError):
+            m.bogus = 1
+
+    def test_repr(self):
+        m = QueryMessage(1, 5, 3, 0.0)
+        assert "qid=1" in repr(m)
+
+
+class TestResponseMessage:
+    def test_copies_query_fields(self):
+        q = QueryMessage(9, 5, 3, 1.0)
+        q.hops = 4
+        q.stale_hops = 1
+        q.path = [(2, 7)]
+        r = ResponseMessage(q, resolver=6, dest_map=[6, 8], meta_version=2)
+        assert (r.qid, r.dest, r.origin) == (9, 5, 3)
+        assert r.created_at == 1.0
+        assert r.hops == 4
+        assert r.stale_hops == 1
+        assert r.path == [(2, 7)]
+        assert r.resolver == 6
+        assert r.meta_version == 2
+
+
+class TestControlMessages:
+    def test_probe_fields(self):
+        p = ProbeMessage(session=1, src=2, src_load=0.9)
+        assert (p.session, p.src, p.src_load) == (1, 2, 0.9)
+
+    def test_probe_reply_fields(self):
+        r = ProbeReplyMessage(session=1, src=4, load=0.1, willing=True)
+        assert r.willing
+
+    def test_transfer_carries_delta(self):
+        payload = ReplicaPayload(7, 0, [1], {2: [3]})
+        t = TransferMessage(1, 2, [payload], load_delta=0.35)
+        assert t.load_delta == 0.35
+        assert t.payloads[0].node == 7
+
+    def test_ack_lists_installed(self):
+        a = TransferAckMessage(1, 4, [7, 9])
+        assert a.installed == [7, 9]
+
+
+class TestReplicaPayload:
+    def test_context_is_per_neighbor(self):
+        p = ReplicaPayload(7, 3, [1, 2], {8: [1], 9: [2]}, meta=None)
+        assert p.meta_version == 3
+        assert set(p.context) == {8, 9}
+        assert p.meta is None
+
+
+class TestDataMessages:
+    def test_request_defaults(self):
+        r = DataRequest(rid=1, node=7, origin=0)
+        assert not r.want_meta
+
+    def test_reply_outcomes_exclusive_by_convention(self):
+        r = DataReply(rid=1, node=7, responder=3)
+        assert r.data is None and r.meta is None
+        assert r.redirect_map == []
+        r.redirect_map = [4, 5]
+        assert r.redirect_map == [4, 5]
+
+
+class TestAdvertisement:
+    def test_fields_and_repr(self):
+        a = Advertisement(node=7, server=3)
+        assert "node=7" in repr(a)

@@ -1,0 +1,85 @@
+"""Tests for the multiprocess experiment fan-out."""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import parallel_map, worker_count
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise RuntimeError("task failure")
+
+
+class TestWorkerCount:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert worker_count(10) == 0
+
+    def test_env_zero_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert worker_count(10) == 0
+
+    def test_env_explicit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert worker_count(10) == 4
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert worker_count(1000) == (os.cpu_count() or 1)
+
+    def test_capped_by_tasks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        assert worker_count(3) == 3
+
+    def test_one_worker_is_serial(self):
+        assert worker_count(10, workers=1) == 0
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            worker_count(10)
+
+
+class TestParallelMap:
+    def test_serial_results_in_order(self):
+        out = parallel_map(square, [dict(x=i) for i in range(6)], workers=0)
+        assert out == [0, 1, 4, 9, 16, 25]
+
+    def test_parallel_results_in_order(self):
+        out = parallel_map(square, [dict(x=i) for i in range(6)], workers=2)
+        assert out == [0, 1, 4, 9, 16, 25]
+
+    def test_single_task_stays_serial(self):
+        assert parallel_map(square, [dict(x=3)], workers=8) == [9]
+
+    def test_empty(self):
+        assert parallel_map(square, [], workers=4) == []
+
+    def test_serial_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [dict(x=1), dict(x=2)], workers=0)
+
+    def test_parallel_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [dict(x=1), dict(x=2)], workers=2)
+
+    def test_parallel_matches_serial_for_experiment_cell(self):
+        """A real experiment cell produces identical results either way."""
+        from repro.experiments.common import Scale
+        from repro.experiments.fig5_ablation import fig5_cell
+
+        micro = Scale(
+            name="tiny", ns_levels=6, nc_nodes=300, n_servers=4,
+            warmup=1.0, phase=1.0, n_phases=1, drain=1.0, cache_slots=6,
+            digest_probe_limit=1,
+        )
+        kwargs = dict(scale=micro, preset="BCR", label="unifS", ns_kind="S",
+                      alpha=0.0, utilization=0.3, seed=5)
+        serial = parallel_map(fig5_cell, [kwargs, kwargs], workers=0)
+        para = parallel_map(fig5_cell, [kwargs, kwargs], workers=2)
+        assert serial == para

@@ -1,0 +1,137 @@
+"""Unit tests for load-based node ranking (paper section 3.2)."""
+
+import pytest
+
+from repro.core.ranking import NodeRanking
+
+
+class TestTracking:
+    def test_track_and_hit(self):
+        r = NodeRanking()
+        r.track(1)
+        r.hit(1)
+        r.hit(1, 2.0)
+        assert r.weight(1) == 3.0
+
+    def test_untracked_hits_dropped(self):
+        r = NodeRanking()
+        r.hit(5)
+        assert r.weight(5) == 0.0
+        assert 5 not in r
+
+    def test_forget(self):
+        r = NodeRanking()
+        r.track(1)
+        r.hit(1)
+        r.forget(1)
+        assert 1 not in r
+        assert r.weight(1) == 0.0
+
+    def test_total_weight(self):
+        r = NodeRanking()
+        r.track(1)
+        r.track(2)
+        r.hit(1, 3.0)
+        r.hit(2, 2.0)
+        assert r.total_weight() == 5.0
+
+
+class TestRescale:
+    def test_decay(self):
+        r = NodeRanking(decay=0.5)
+        r.track(1)
+        r.hit(1, 8.0)
+        r.rescale()
+        assert r.weight(1) == 4.0
+
+    def test_rescale_preserves_order(self):
+        r = NodeRanking(decay=0.25)
+        for n, w in ((1, 10.0), (2, 5.0), (3, 1.0)):
+            r.track(n)
+            r.hit(n, w)
+        before = [n for n, _ in r.ranked()]
+        r.rescale()
+        assert [n for n, _ in r.ranked()] == before
+
+    def test_recent_demand_dominates_after_decay(self):
+        """Rescaling approximates *recent* demand: an old hot node
+        yields its rank to a newly hot node after a few decays."""
+        r = NodeRanking(decay=0.1)
+        r.track(1)
+        r.track(2)
+        r.hit(1, 100.0)
+        for _ in range(3):
+            r.rescale()
+        r.hit(2, 10.0)
+        ranked = [n for n, _ in r.ranked()]
+        assert ranked[0] == 2
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            NodeRanking(decay=1.5)
+
+
+class TestRanked:
+    def test_descending_with_deterministic_ties(self):
+        r = NodeRanking()
+        for n in (3, 1, 2):
+            r.track(n)
+        r.hit(2, 5.0)
+        assert r.ranked() == [(2, 5.0), (1, 0.0), (3, 0.0)]
+
+    def test_among_restricts(self):
+        r = NodeRanking()
+        for n in (1, 2, 3):
+            r.track(n)
+            r.hit(n, float(n))
+        assert [n for n, _ in r.ranked(among=[1, 3])] == [3, 1]
+
+
+class TestTopKForFraction:
+    def _ranking(self):
+        r = NodeRanking()
+        for n, w in ((1, 50.0), (2, 30.0), (3, 15.0), (4, 5.0)):
+            r.track(n)
+            r.hit(n, w)
+        return r
+
+    def test_exact_prefix(self):
+        r = self._ranking()
+        assert r.top_k_for_fraction(0.5) == [1]
+        assert r.top_k_for_fraction(0.8) == [1, 2]
+        assert r.top_k_for_fraction(0.95) == [1, 2, 3]
+        assert r.top_k_for_fraction(1.0) == [1, 2, 3, 4]
+
+    def test_zero_fraction_ships_top_node(self):
+        """Paper step 3: k is the smallest count reaching the target;
+        with target 0 that is still one node (something must move)."""
+        r = self._ranking()
+        assert r.top_k_for_fraction(0.0) == [1]
+
+    def test_cold_counters_still_ship_one(self):
+        r = NodeRanking()
+        r.track(9)
+        assert r.top_k_for_fraction(0.5) == [9]
+
+    def test_empty_ranking(self):
+        assert NodeRanking().top_k_for_fraction(0.5) == []
+
+    def test_among_subset(self):
+        r = self._ranking()
+        assert r.top_k_for_fraction(0.4, among=[2, 3, 4]) == [2]
+
+
+class TestBottom:
+    def test_lowest_ranked_first(self):
+        r = NodeRanking()
+        for n, w in ((1, 5.0), (2, 1.0), (3, 3.0)):
+            r.track(n)
+            r.hit(n, w)
+        assert r.bottom(2) == [2, 3]
+
+    def test_among(self):
+        r = NodeRanking()
+        for n, w in ((1, 5.0), (2, 1.0), (3, 3.0)):
+            r.track(n)
+            r.hit(n, w)
+        assert r.bottom(1, among=[1, 3]) == [3]

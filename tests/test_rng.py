@@ -1,0 +1,126 @@
+"""Unit tests for RNG streams and the bounded Zipf sampler."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim.rng import (
+    RngStreams,
+    ZipfSampler,
+    exponential,
+    poisson_arrival_times,
+)
+
+
+class TestStreams:
+    def test_named_streams_independent(self):
+        rs = RngStreams(1)
+        a = rs.stream("a")
+        b = rs.stream("b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_same_name_same_stream(self):
+        rs = RngStreams(1)
+        assert rs.stream("x") is rs.stream("x")
+
+    def test_reproducible_across_families(self):
+        xs = [RngStreams(7).stream("q").random() for _ in range(2)]
+        assert xs[0] == xs[1]
+
+    def test_spawn_differs_from_parent(self):
+        rs = RngStreams(7)
+        child = rs.spawn("c")
+        assert child.master_seed != rs.master_seed
+
+
+class TestExponential:
+    def test_mean(self):
+        rng = random.Random(0)
+        xs = [exponential(rng, 2.0) for _ in range(20_000)]
+        assert abs(sum(xs) / len(xs) - 2.0) < 0.1
+
+    def test_positive(self):
+        rng = random.Random(0)
+        assert all(exponential(rng, 0.5) > 0 for _ in range(1000))
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            exponential(random.Random(0), 0.0)
+
+
+class TestPoisson:
+    def test_rate(self):
+        rng = random.Random(1)
+        ts = poisson_arrival_times(rng, rate=100.0, horizon=50.0)
+        assert abs(len(ts) / 50.0 - 100.0) < 10.0
+
+    def test_sorted_within_horizon(self):
+        rng = random.Random(1)
+        ts = poisson_arrival_times(rng, rate=10.0, horizon=5.0)
+        assert ts == sorted(ts)
+        assert all(0 < t < 5.0 for t in ts)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(random.Random(0), 0.0, 1.0)
+
+
+class TestZipf:
+    def test_uniform_degenerate(self):
+        z = ZipfSampler(10, alpha=0.0)
+        rng = random.Random(0)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[z.sample(rng)] += 1
+        assert max(counts) / min(counts) < 1.5
+
+    def test_pmf_sums_to_one(self):
+        for alpha in (0.0, 0.75, 1.0, 1.5):
+            z = ZipfSampler(100, alpha)
+            assert math.isclose(sum(z.pmf(i) for i in range(100)), 1.0,
+                                rel_tol=1e-9)
+
+    def test_pmf_monotone_decreasing(self):
+        z = ZipfSampler(50, alpha=1.0)
+        pm = [z.pmf(i) for i in range(50)]
+        assert all(a >= b for a, b in zip(pm, pm[1:]))
+
+    def test_zipf_ratio_matches_law(self):
+        """P(rank 1) / P(rank 2) == 2**alpha."""
+        alpha = 1.25
+        z = ZipfSampler(1000, alpha)
+        assert math.isclose(z.pmf(0) / z.pmf(1), 2**alpha, rel_tol=1e-9)
+
+    def test_sampling_tracks_pmf(self):
+        z = ZipfSampler(20, alpha=1.0)
+        rng = random.Random(42)
+        n = 50_000
+        counts = [0] * 20
+        for _ in range(n):
+            counts[z.sample(rng)] += 1
+        for rank in (0, 1, 5):
+            assert abs(counts[rank] / n - z.pmf(rank)) < 0.01
+
+    def test_sample_many_matches_range(self):
+        z = ZipfSampler(30, alpha=1.5)
+        rng = random.Random(0)
+        xs = z.sample_many(rng, 1000)
+        assert xs.min() >= 0 and xs.max() < 30
+
+    def test_higher_alpha_more_skew(self):
+        rng = random.Random(9)
+        lo = ZipfSampler(100, 0.75)
+        hi = ZipfSampler(100, 1.5)
+        n = 20_000
+        top_lo = sum(1 for _ in range(n) if lo.sample(rng) == 0) / n
+        top_hi = sum(1 for _ in range(n) if hi.sample(rng) == 0) / n
+        assert top_hi > top_lo
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)
+        with pytest.raises(IndexError):
+            ZipfSampler(10, 1.0).pmf(10)

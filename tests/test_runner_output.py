@@ -1,0 +1,59 @@
+"""The runner's per-experiment printers produce sane reports."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import Scale
+
+MICRO = Scale(
+    name="tiny", ns_levels=6, nc_nodes=300, n_servers=8,
+    warmup=1.5, phase=1.5, n_phases=1, drain=1.5, cache_slots=6,
+    digest_probe_limit=1, long_run=12.0, long_bucket=3,
+)
+
+
+class TestPrinters:
+    def test_table1_printer(self, capsys):
+        runner._table1(MICRO)
+        out = capsys.readouterr().out
+        assert "owned" in out and "cached" in out
+
+    def test_fig6_printer(self, capsys):
+        runner._fig6(MICRO)
+        out = capsys.readouterr().out
+        assert "util0.4" in out
+        assert "smoothed-max" in out
+
+    def test_fig9_printer(self, capsys):
+        runner._fig9(MICRO)
+        out = capsys.readouterr().out
+        assert "servers" in out and "latency" in out
+
+    def test_heterogeneity_printer(self, capsys):
+        runner._heterogeneity(MICRO)
+        out = capsys.readouterr().out
+        assert "heterogeneous-BCR" in out
+
+    def test_resilience_printer(self, capsys):
+        runner._resilience(MICRO)
+        out = capsys.readouterr().out
+        assert "completion_during" in out
+
+    def test_static_printer(self, capsys):
+        runner._static(MICRO)
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+
+
+class TestMain:
+    def test_main_runs_a_subset(self, capsys, monkeypatch):
+        # force the micro scale through the registry path
+        monkeypatch.setattr(runner, "get_scale", lambda: MICRO)
+        runner.main(["table1"])
+        out = capsys.readouterr().out
+        assert "=== table1 ===" in out
+        assert "scale=tiny" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            runner.main(["bogus"])

@@ -1,0 +1,48 @@
+"""Tests for the generic parameter-sweep harness."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.sweeps import sweep
+
+MICRO = Scale(
+    name="tiny", ns_levels=7, nc_nodes=500, n_servers=8,
+    warmup=2.0, phase=2.0, n_phases=1, drain=2.0, cache_slots=8,
+    digest_probe_limit=1,
+)
+
+
+class TestSweep:
+    def test_one_summary_per_value(self):
+        results = sweep("rmap", [2, 4], scale=MICRO, seed=1)
+        assert list(results) == [2, 4]
+        for summary in results.values():
+            assert "drop_fraction" in summary
+            assert "replicas_created" in summary
+
+    def test_l_high_controls_replication_aggressiveness(self):
+        """Lower high-water threshold => at least as many replicas."""
+        results = sweep("l_high", [0.4, 0.95], scale=MICRO,
+                        utilization=0.45, alpha=1.0, seed=2)
+        assert (
+            results[0.4]["replicas_created"]
+            >= results[0.95]["replicas_created"]
+        )
+
+    def test_replication_toggle_sweep(self):
+        results = sweep("replication_enabled", [False, True], scale=MICRO,
+                        seed=3)
+        assert results[False]["replicas_created"] == 0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("no_such_knob", [1], scale=MICRO)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("rmap", [], scale=MICRO)
+
+    def test_deterministic(self):
+        a = sweep("rfact", [1.0], scale=MICRO, seed=4)
+        b = sweep("rfact", [1.0], scale=MICRO, seed=4)
+        assert a == b

@@ -1,0 +1,164 @@
+"""Tests for query tracing, replay, and empirical path workloads."""
+
+import io
+
+import pytest
+
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.namespace.generators import balanced_tree
+from repro.workload.arrivals import WorkloadDriver
+from repro.workload.streams import unif_stream
+from repro.workload.trace import (
+    EmpiricalWorkloadDriver,
+    QueryTrace,
+    TraceRecorder,
+    namespace_from_paths,
+    replay_trace,
+)
+
+
+def make(seed=9, **over):
+    ns = balanced_tree(levels=6)
+    defaults = dict(n_servers=8, seed=seed, digest_probe_limit=1)
+    defaults.update(over)
+    return ns, build_system(ns, SystemConfig.replicated(**defaults))
+
+
+class TestQueryTrace:
+    def test_save_load_roundtrip(self):
+        trace = QueryTrace([(0.5, 1, 10), (1.25, 2, 20)])
+        buf = io.StringIO()
+        trace.save(buf)
+        buf.seek(0)
+        loaded = QueryTrace.load(buf)
+        assert loaded.events == trace.events
+
+    def test_load_skips_comments_and_sorts(self):
+        buf = io.StringIO("# header\n2.0 1 5\n\n1.0 0 3\n")
+        trace = QueryTrace.load(buf)
+        assert trace.events == [(1.0, 0, 3), (2.0, 1, 5)]
+
+    def test_load_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            QueryTrace.load(io.StringIO("1.0 2\n"))
+
+    def test_scaled(self):
+        trace = QueryTrace([(1.0, 0, 1)])
+        assert trace.scaled(0.5).events == [(0.5, 0, 1)]
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+    def test_duration(self):
+        assert QueryTrace().duration == 0.0
+        assert QueryTrace([(3.0, 0, 0)]).duration == 3.0
+
+
+class TestRecordReplay:
+    def test_recording_captures_all_injections(self):
+        ns, system = make()
+        recorder = TraceRecorder(system)
+        driver = WorkloadDriver(system, unif_stream(200.0, 5.0, seed=1))
+        driver.run()
+        assert len(recorder.trace) == driver.n_generated
+        assert recorder.trace.duration <= 5.0
+
+    def test_double_tap_rejected(self):
+        ns, system = make()
+        TraceRecorder(system)
+        with pytest.raises(RuntimeError):
+            TraceRecorder(system)
+
+    def test_replay_reproduces_run_exactly(self):
+        """Same trace into two identically seeded systems => identical
+        outcomes; that is the point of record/replay A/B testing."""
+        ns, system = make()
+        recorder = TraceRecorder(system)
+        WorkloadDriver(system, unif_stream(200.0, 5.0, seed=1)).run()
+        trace = recorder.trace
+
+        outcomes = []
+        for _ in range(2):
+            ns2, replay_sys = make()
+            replay_trace(replay_sys, trace)
+            replay_sys.run_until(trace.duration + 5.0)
+            outcomes.append(
+                (replay_sys.stats.n_completed,
+                 round(replay_sys.stats.latency.mean, 12))
+            )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] > 0
+
+    def test_replay_on_different_config(self):
+        """The same trace can drive a differently configured system --
+        e.g. caching disabled -- for controlled comparisons."""
+        ns, system = make()
+        recorder = TraceRecorder(system)
+        WorkloadDriver(system, unif_stream(200.0, 4.0, seed=2)).run()
+        trace = recorder.trace
+
+        ns2, other = make(caching_enabled=False)
+        replay_trace(other, trace)
+        other.run_until(trace.duration + 5.0)
+        assert other.stats.n_injected == len(trace)
+
+
+class TestNamespaceFromPaths:
+    def test_paths_and_counts(self):
+        ns, counts = namespace_from_paths(
+            ["3 /a/b/file1", "/a/b/file2", "# comment", "", "7 /a/c"]
+        )
+        assert len(ns) == 6  # /, /a, /a/b, file1, file2, /a/c
+        assert counts[ns.id_of("/a/b/file1")] == 3
+        assert counts[ns.id_of("/a/b/file2")] == 1
+        assert counts[ns.id_of("/a/c")] == 7
+        assert ns.id_of("/a/b") not in counts  # implicit ancestor
+
+    def test_duplicate_paths_accumulate(self):
+        ns, counts = namespace_from_paths(["2 /x", "5 /x"])
+        assert counts[ns.id_of("/x")] == 7
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            namespace_from_paths(["abc /x y"])
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(Exception):
+            namespace_from_paths(["relative/path"])
+
+
+class TestEmpiricalDriver:
+    def test_destinations_follow_weights(self):
+        ns, system = make()
+        hot, cold = 5, 9
+        weights = {hot: 100.0, cold: 1.0}
+        seen = {hot: 0, cold: 0}
+        system.on_inject = lambda t, s, d: seen.__setitem__(d, seen[d] + 1)
+        drv = EmpiricalWorkloadDriver(system, rate=300.0, duration=5.0,
+                                      weights=weights, seed=3)
+        drv.run()
+        assert seen[hot] > 20 * max(1, seen[cold])
+        assert drv.n_generated == seen[hot] + seen[cold]
+
+    def test_zero_weights_never_queried(self):
+        ns, system = make()
+        dests = []
+        system.on_inject = lambda t, s, d: dests.append(d)
+        drv = EmpiricalWorkloadDriver(system, rate=100.0, duration=3.0,
+                                      weights={4: 1.0, 6: 0.0}, seed=1)
+        drv.run()
+        assert set(dests) == {4}
+
+    def test_validation(self):
+        ns, system = make()
+        with pytest.raises(ValueError):
+            EmpiricalWorkloadDriver(system, rate=0, duration=1, weights={1: 1})
+        with pytest.raises(ValueError):
+            EmpiricalWorkloadDriver(system, rate=1, duration=0, weights={1: 1})
+        with pytest.raises(ValueError):
+            EmpiricalWorkloadDriver(system, rate=1, duration=1, weights={})
+        drv = EmpiricalWorkloadDriver(system, rate=1, duration=1,
+                                      weights={1: 1.0})
+        drv.start()
+        with pytest.raises(RuntimeError):
+            drv.start()

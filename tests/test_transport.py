@@ -1,0 +1,102 @@
+"""Unit tests for the constant-latency transport."""
+
+import pytest
+
+from repro.net.transport import Transport
+from repro.sim.engine import Engine
+
+
+class TestTransport:
+    def test_delivery_after_delay(self):
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.025)
+        got = []
+        tr.register(0, lambda m: got.append((eng.now, m)))
+        tr.send(0, "hello")
+        eng.run()
+        assert got == [(0.025, "hello")]
+
+    def test_separate_traffic_counters(self):
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.0)
+        tr.register(0, lambda m: None)
+        tr.send(0, "q")
+        tr.send(0, "c", control=True)
+        assert tr.n_sent == 1
+        assert tr.n_control_sent == 1
+
+    def test_unknown_destination_raises(self):
+        tr = Transport(Engine(), net_delay=0.0)
+        with pytest.raises(KeyError):
+            tr.send(7, "x")
+
+    def test_double_registration_rejected(self):
+        tr = Transport(Engine(), net_delay=0.0)
+        tr.register(0, lambda m: None)
+        with pytest.raises(ValueError):
+            tr.register(0, lambda m: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Transport(Engine(), net_delay=-1.0)
+
+    def test_fifo_between_same_pair(self):
+        """Messages to the same destination preserve send order
+        (constant delay + stable tie-breaking)."""
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.01)
+        got = []
+        tr.register(0, got.append)
+        for i in range(5):
+            tr.send(0, i)
+        eng.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_n_servers(self):
+        tr = Transport(Engine(), net_delay=0.0)
+        tr.register(0, lambda m: None)
+        tr.register(1, lambda m: None)
+        assert tr.n_servers == 2
+
+
+class TestJitter:
+    def test_zero_jitter_is_constant(self):
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.02, net_jitter=0.0)
+        times = []
+        tr.register(0, lambda m: times.append(eng.now))
+        for _ in range(5):
+            tr.send(0, "x")
+        eng.run()
+        assert all(abs(t - 0.02) < 1e-12 for t in times)
+
+    def test_jitter_spreads_delays(self):
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.02, net_jitter=0.01, jitter_seed=1)
+        times = []
+        tr.register(0, lambda m: times.append(eng.now))
+        for _ in range(200):
+            tr.send(0, "x")
+        eng.run()
+        assert min(times) >= 0.02
+        assert len(set(round(t, 9) for t in times)) > 100
+        mean_extra = sum(times) / len(times) - 0.02
+        assert mean_extra == pytest.approx(0.01, rel=0.4)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            Transport(Engine(), net_delay=0.01, net_jitter=-1.0)
+
+    def test_system_still_correct_under_jitter(self):
+        from repro.cluster.builder import build_system
+        from repro.cluster.config import SystemConfig
+        from repro.namespace.generators import balanced_tree
+        from repro.workload.arrivals import WorkloadDriver
+        from repro.workload.streams import unif_stream
+
+        ns = balanced_tree(levels=5)
+        cfg = SystemConfig.replicated(n_servers=4, seed=1, net_jitter=0.01,
+                                      digest_probe_limit=1)
+        system = build_system(ns, cfg)
+        WorkloadDriver(system, unif_stream(100.0, 4.0, seed=1)).run()
+        assert system.stats.completion_fraction > 0.95

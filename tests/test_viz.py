@@ -1,0 +1,157 @@
+"""Tests for the SVG chart primitives and figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import PALETTE, BarChart, LineChart, nice_ticks
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestTicks:
+    def test_covering_and_round(self):
+        ticks = nice_ticks(0.0, 0.93)
+        assert ticks[0] <= 0.0 and ticks[-1] <= 0.93 + 0.25
+        steps = {round(b - a, 12) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        assert nice_ticks(5.0, 5.0)
+
+    def test_large_values(self):
+        ticks = nice_ticks(0, 65536)
+        assert all(t % 1 == 0 for t in ticks)
+
+
+class TestLineChart:
+    def test_well_formed_svg(self):
+        c = LineChart("t", y_label="y", x_label="x")
+        c.add_series("a", [(0, 0.0), (1, 1.0), (2, 0.5)])
+        root = parse(c.render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        c = LineChart("t")
+        c.add_series("a", [(0, 0), (1, 1)])
+        c.add_series("b", [(0, 1), (1, 0)])
+        root = parse(c.render())
+        polys = root.findall(f"{SVG_NS}polyline")
+        assert len(polys) == 2
+        # fixed slot order, never cycled
+        assert polys[0].get("stroke") == PALETTE[0]
+        assert polys[1].get("stroke") == PALETTE[1]
+        # 2px line weight per the mark spec
+        assert all(p.get("stroke-width") == "2" for p in polys)
+
+    def test_legend_present_for_two_series_absent_for_one(self):
+        c1 = LineChart("t")
+        c1.add_series("only", [(0, 0), (1, 1)])
+        svg1 = c1.render()
+        c2 = LineChart("t")
+        c2.add_series("a", [(0, 0), (1, 1)])
+        c2.add_series("b", [(0, 1), (1, 0)])
+        svg2 = c2.render()
+        # legend swatches are 10x10 rounded rects
+        assert svg2.count("width='10' height='10'") == 2
+        assert svg1.count("width='10' height='10'") == 0
+
+    def test_hover_titles_present(self):
+        c = LineChart("t")
+        c.add_series("series-name", [(0, 0), (1, 1)])
+        assert "<title>series-name</title>" in c.render()
+
+    def test_text_never_wears_series_color(self):
+        c = LineChart("t")
+        c.add_series("a", [(0, 0), (1, 1)])
+        root = parse(c.render())
+        for text in root.iter(f"{SVG_NS}text"):
+            assert text.get("fill") not in PALETTE
+
+    def test_series_cap_enforced(self):
+        c = LineChart("t")
+        for i in range(len(PALETTE)):
+            c.add_series(f"s{i}", [(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            c.add_series("one-too-many", [(0, 0)])
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t").render()
+
+    def test_log_scale(self):
+        c = LineChart("t", log_y=True)
+        c.add_series("a", [(0, 1.0), (1, 1000.0)])
+        parse(c.render())  # well-formed
+
+    def test_escapes_markup(self):
+        c = LineChart("<nasty & title>")
+        c.add_series("a<b", [(0, 0), (1, 1)])
+        root = parse(c.render())  # would raise on bad escaping
+        assert root is not None
+
+
+class TestBarChart:
+    def test_one_bar_per_series_per_category(self):
+        c = BarChart("t", categories=["x", "y", "z"])
+        c.add_series("B", [1, 2, 3])
+        c.add_series("BCR", [0.1, 0.2, 0.3])
+        root = parse(c.render())
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 6
+        assert paths[0].get("fill") == PALETTE[0]
+
+    def test_value_count_validated(self):
+        c = BarChart("t", categories=["x", "y"])
+        with pytest.raises(ValueError):
+            c.add_series("B", [1])
+
+    def test_tooltips_carry_values(self):
+        c = BarChart("t", categories=["x"])
+        c.add_series("B", [0.25])
+        assert "<title>B / x: 0.25</title>" in c.render()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart("t", categories=["x"]).render()
+
+
+class TestFigureRendering:
+    def test_render_selected_figures(self, tmp_path):
+        from repro.experiments.common import Scale
+        from repro.viz.figures import render_figures
+
+        micro = Scale(
+            name="tiny", ns_levels=6, nc_nodes=300, n_servers=8,
+            warmup=1.5, phase=1.5, n_phases=1, drain=1.5, cache_slots=6,
+            digest_probe_limit=1, long_run=12.0, long_bucket=3,
+        )
+        written = render_figures(str(tmp_path), ["fig7"], scale=micro, seed=1)
+        assert len(written) == 1
+        svg = (tmp_path / "fig7.svg").read_text()
+        parse(svg)
+        assert "Fig. 7" in svg
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        from repro.viz.figures import render_figures
+
+        with pytest.raises(ValueError):
+            render_figures(str(tmp_path), ["fig99"])
+
+
+class TestFigureRegistry:
+    def test_every_paper_figure_has_a_renderer(self):
+        from repro.viz.figures import FIGURES
+
+        assert {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                "fig9"} <= set(FIGURES)
+
+    def test_extension_figures_registered(self):
+        from repro.viz.figures import FIGURES
+
+        assert {"fig5_sparse", "heterogeneity",
+                "static_vs_adaptive"} <= set(FIGURES)

@@ -1,0 +1,152 @@
+"""Unit tests for query-stream specs and the arrival driver."""
+
+import pytest
+
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.namespace.generators import balanced_tree
+from repro.workload.arrivals import WorkloadDriver
+from repro.workload.streams import (
+    StreamSegment,
+    WorkloadSpec,
+    cuzipf_stream,
+    unif_stream,
+    uzipf_stream,
+)
+
+
+class TestSpecs:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            StreamSegment(duration=0.0)
+        with pytest.raises(ValueError):
+            StreamSegment(duration=1.0, alpha=-1.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(rate=0.0, segments=(StreamSegment(1.0),))
+        with pytest.raises(ValueError):
+            WorkloadSpec(rate=1.0, segments=())
+
+    def test_duration_and_boundaries(self):
+        spec = WorkloadSpec(
+            rate=10.0,
+            segments=(StreamSegment(5.0), StreamSegment(3.0)),
+        )
+        assert spec.duration == 8.0
+        assert spec.boundaries() == [5.0, 8.0]
+
+    def test_unif_stream(self):
+        s = unif_stream(rate=100.0, duration=10.0)
+        assert len(s.segments) == 1
+        assert s.segments[0].alpha == 0.0
+        assert s.name == "unif"
+
+    def test_uzipf_stream(self):
+        s = uzipf_stream(rate=100.0, duration=10.0, alpha=1.25)
+        assert s.segments[0].alpha == 1.25
+        assert s.name == "uzipf1.25"
+
+    def test_cuzipf_structure(self):
+        """unif warm-up then n Zipf phases, each reshuffling popularity
+        (the paper's cuzipf composite streams)."""
+        s = cuzipf_stream(rate=100.0, alpha=1.5, warmup=20.0, phase=50.0,
+                          n_phases=4)
+        assert len(s.segments) == 5
+        assert s.segments[0].alpha == 0.0
+        assert all(seg.alpha == 1.5 for seg in s.segments[1:])
+        assert all(seg.reshuffle for seg in s.segments[1:])
+        assert s.duration == 220.0
+
+    def test_cuzipf_validation(self):
+        with pytest.raises(ValueError):
+            cuzipf_stream(rate=1.0, alpha=1.0, warmup=1.0, phase=1.0,
+                          n_phases=0)
+
+
+def make_system():
+    ns = balanced_tree(levels=6)
+    cfg = SystemConfig.replicated(n_servers=8, seed=5)
+    return build_system(ns, cfg)
+
+
+class _StubSystem:
+    """Minimal system facade recording injected destinations."""
+
+    def __init__(self, n_nodes, n_servers):
+        from repro.sim.engine import Engine
+
+        self.ns = list(range(n_nodes))  # driver only needs len(ns)
+        self.peers = list(range(n_servers))
+        self.engine = Engine()
+        self.dests = []
+
+    def inject(self, src, dest):
+        self.dests.append(dest)
+
+    def run_until(self, t):
+        self.engine.run(until=t)
+
+
+def _record_destinations(spec):
+    stub = _StubSystem(n_nodes=511, n_servers=8)
+    drv = WorkloadDriver(stub, spec)
+    drv.run()
+    return stub.dests
+
+
+class TestDriver:
+    def test_rate_approximated(self):
+        system = make_system()
+        spec = unif_stream(rate=200.0, duration=10.0, seed=1)
+        drv = WorkloadDriver(system, spec)
+        drv.run()
+        assert abs(drv.n_generated / 10.0 - 200.0) < 40.0
+        assert system.stats.n_injected == drv.n_generated
+
+    def test_arrivals_stop_at_end(self):
+        system = make_system()
+        spec = unif_stream(rate=100.0, duration=5.0, seed=1)
+        drv = WorkloadDriver(system, spec)
+        drv.start()
+        system.run_until(100.0)
+        # no arrivals after duration: rate*duration +- slack
+        assert drv.n_generated <= 5.0 * 100.0 * 1.5
+
+    def test_reshuffles_counted(self):
+        system = make_system()
+        spec = cuzipf_stream(rate=300.0, alpha=1.0, warmup=1.0, phase=1.0,
+                             n_phases=3, seed=1)
+        drv = WorkloadDriver(system, spec)
+        drv.run()
+        assert drv.n_reshuffles == 3
+
+    def test_zipf_skews_destinations(self):
+        dests = _record_destinations(
+            uzipf_stream(rate=500.0, duration=6.0, alpha=1.5, seed=2)
+        )
+        top = max(set(dests), key=dests.count)
+        assert dests.count(top) / len(dests) > 0.05  # way above uniform 1/511
+
+    def test_uniform_spreads_destinations(self):
+        dests = _record_destinations(unif_stream(rate=500.0, duration=6.0, seed=2))
+        top = max(set(dests), key=dests.count)
+        assert dests.count(top) / len(dests) < 0.02
+
+    def test_double_start_rejected(self):
+        system = make_system()
+        drv = WorkloadDriver(system, unif_stream(rate=10.0, duration=1.0))
+        drv.start()
+        with pytest.raises(RuntimeError):
+            drv.start()
+
+    def test_deterministic_given_seed(self):
+        outs = []
+        for _ in range(2):
+            system = make_system()
+            drv = WorkloadDriver(system, unif_stream(rate=100.0, duration=5.0,
+                                                     seed=11))
+            drv.run()
+            outs.append((drv.n_generated, system.stats.n_completed,
+                         round(system.stats.latency.mean, 9)))
+        assert outs[0] == outs[1]

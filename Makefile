@@ -1,6 +1,7 @@
 # Convenience targets for the TerraDir reproduction.
 #
 #   make install      editable install (offline-friendly)
+#   make lint         ruff over sources, tests, and benchmarks
 #   make test         full unit/integration/property suite
 #   make bench        every figure/table benchmark (shape assertions)
 #   make experiments  print every figure's data (REPRO_SCALE=tiny|small|paper)
@@ -11,6 +12,9 @@ PYTHON ?= python
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+lint:
+	$(PYTHON) -m ruff check src/ tests/ benchmarks/
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -28,4 +32,4 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install test bench experiments figures outputs
+.PHONY: install lint test bench experiments figures outputs

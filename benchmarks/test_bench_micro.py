@@ -8,7 +8,8 @@ tracking performance regressions of the library itself:
 * namespace distance via ancestor-chain prefix scan,
 * Bloom digest snapshot tests (the digest-shortcut probe),
 * event-engine scheduling throughput,
-* Zipf destination sampling.
+* Zipf destination sampling,
+* a short end-to-end run under the NullSink (collection-free hot path).
 """
 
 import random
@@ -111,6 +112,32 @@ def test_micro_engine_schedule_dispatch(benchmark):
 
 def _noop() -> None:
     pass
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_run_null_sink(benchmark):
+    """A short end-to-end burst with stats collection disabled.
+
+    Tracks the floor cost of the message pipeline itself: every
+    component records through the StatsSink protocol, and with the
+    NullSink those calls must stay cheap enough that a hot benchmark
+    run is not paying for bookkeeping nobody reads.
+    """
+    from repro.sim.stats import NullSink
+    from repro.workload.arrivals import WorkloadDriver
+    from repro.workload.streams import uzipf_stream
+
+    ns = balanced_tree(levels=8)
+    cfg = SystemConfig.replicated(n_servers=16, seed=9, cache_slots=16)
+
+    def burst():
+        system = build_system(ns, cfg, stats=NullSink())
+        spec = uzipf_stream(rate=400.0, duration=2.0, alpha=1.0, seed=9)
+        WorkloadDriver(system, spec).run()
+        return sum(p.n_processed for p in system.peers)
+
+    processed = benchmark(burst)
+    assert processed > 0
 
 
 @pytest.mark.benchmark(group="micro")

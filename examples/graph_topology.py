@@ -11,7 +11,7 @@ without touching the tree-based progress guarantee.
 """
 
 from repro import SystemConfig, WorkloadDriver, balanced_tree, build_system
-from repro.namespace.graph import GraphNamespace, mesh_of_trees
+from repro.namespace.graph import mesh_of_trees
 from repro.workload.streams import unif_stream
 
 

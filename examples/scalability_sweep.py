@@ -8,7 +8,6 @@ and drops scale.
     python examples/scalability_sweep.py
 """
 
-import math
 
 from repro.experiments.common import Scale
 from repro.experiments.fig9_scalability import run_fig9

@@ -38,6 +38,7 @@ from repro.namespace.generators import (
 from repro.namespace.tree import Namespace, NamespaceBuilder
 from repro.server.peer import Peer
 from repro.sim.engine import Engine
+from repro.sim.stats import MultiSink, NullSink, StatsSink
 from repro.workload.arrivals import WorkloadDriver
 from repro.workload.streams import (
     StreamSegment,
@@ -66,9 +67,12 @@ __all__ = [
     "QueryTrace",
     "TerraDirClient",
     "TraceRecorder",
+    "MultiSink",
     "Namespace",
     "NamespaceBuilder",
+    "NullSink",
     "Peer",
+    "StatsSink",
     "StreamSegment",
     "System",
     "SystemConfig",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 import json
-from typing import List, Mapping, Optional, Sequence, TextIO
+from typing import List, Mapping, Sequence, TextIO
 
 from repro.cluster.system import System
 

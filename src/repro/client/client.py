@@ -80,6 +80,7 @@ class TerraDirClient:
         queue drops and failures.
         """
         self.n_lookups += 1
+        self.system.stats.record_client_lookup(self.system.engine.now)
         qid = self.system.inject(self.home.sid, node)
         timeout = self.system.engine.schedule_after(
             self.lookup_timeout, self._on_lookup_timeout,
@@ -105,8 +106,10 @@ class TerraDirClient:
                            retries_left: int) -> None:
         self.home.client_hooks.pop(("lookup", qid), None)
         self.n_timeouts += 1
+        self.system.stats.record_client_timeout(self.system.engine.now)
         if retries_left > 0:
             self.n_retries += 1
+            self.system.stats.record_client_retry(self.system.engine.now)
             self._issue_lookup(node, future, retries_left - 1)
             return
         future.fail("lookup timed out (query dropped or still queued)")

@@ -21,6 +21,7 @@ from repro.namespace.generators import assign_nodes_to_servers
 from repro.namespace.tree import Namespace
 from repro.server.peer import Peer
 from repro.sim.engine import Engine
+from repro.sim.stats import StatsSink
 
 
 def build_system(
@@ -28,6 +29,7 @@ def build_system(
     cfg: SystemConfig,
     owner: Optional[Sequence[int]] = None,
     engine: Optional[Engine] = None,
+    stats: Optional[StatsSink] = None,
 ) -> System:
     """Wire a complete simulated system.
 
@@ -37,6 +39,8 @@ def build_system(
         owner: optional explicit node-to-server assignment; defaults to
             the uniform random balanced partition of the paper.
         engine: optional externally owned event engine.
+        stats: optional stats sink; defaults to a full
+            :class:`~repro.sim.stats.SystemStats` collector.
 
     Raises:
         ValueError: when there are more servers than nodes (every
@@ -57,7 +61,7 @@ def build_system(
             raise ValueError("owner ids out of range")
 
     engine = engine or Engine()
-    system = System(ns, cfg, engine, owner_list)
+    system = System(ns, cfg, engine, owner_list, stats=stats)
 
     # shared Bloom geometry for all digests: capacity sized to the
     # worst-case hosted set (owned + replica allowance), so snapshots

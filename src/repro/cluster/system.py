@@ -1,133 +1,27 @@
 """The assembled simulated TerraDir system.
 
 :class:`System` owns the engine, transport, namespace, peers, and the
-:class:`SystemStats` collector every component reports into.  It also
-drives periodic maintenance (load-window rolls, ranking rescales, load
+stats sink every component reports into -- a full
+:class:`~repro.sim.stats.SystemStats` collector by default, or any
+other :class:`~repro.sim.stats.StatsSink` (``NullSink`` for hot
+benchmark runs, ``MultiSink`` for composition).  It also drives
+periodic maintenance (load-window rolls, ranking rescales, load
 sampling, idle-replica eviction) as a single global process to keep
 event-heap pressure low.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cluster.config import SystemConfig
 from repro.namespace.tree import Namespace
 from repro.net.transport import Transport
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
-from repro.sim.stats import LatencyStats, TimeSeries
+from repro.sim.stats import StatsSink, SystemStats
 
-
-class SystemStats:
-    """All metrics the paper's evaluation section reports.
-
-    Time series use 1-second bins to match the paper's per-second plots.
-    """
-
-    __slots__ = (
-        "injected",
-        "drops",
-        "completions",
-        "replicas_created",
-        "replicas_evicted",
-        "loads",
-        "latency",
-        "n_injected",
-        "n_completed",
-        "n_dropped",
-        "drop_reasons",
-        "n_stale_hops",
-        "hops_sum",
-        "route_sources",
-        "level_replicas",
-        "level_evictions",
-    )
-
-    def __init__(self, max_depth: int) -> None:
-        self.injected = TimeSeries()
-        self.drops = TimeSeries()
-        self.completions = TimeSeries()
-        self.replicas_created = TimeSeries()
-        self.replicas_evicted = TimeSeries()
-        self.loads = TimeSeries()
-        self.latency = LatencyStats()
-        self.n_injected = 0
-        self.n_completed = 0
-        self.n_dropped = 0
-        self.drop_reasons: Dict[str, int] = {}
-        self.n_stale_hops = 0
-        self.hops_sum = 0
-        self.route_sources: Dict[str, int] = {}
-        self.level_replicas = [0] * (max_depth + 1)
-        self.level_evictions = [0] * (max_depth + 1)
-
-    # -- recording hooks (called from peers) -----------------------------
-
-    def record_injected(self, now: float) -> None:
-        self.n_injected += 1
-        self.injected.add(now)
-
-    def record_drop(self, now: float, reason: str = "queue") -> None:
-        self.n_dropped += 1
-        self.drops.add(now)
-        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
-
-    def record_completion(
-        self, now: float, latency: float, hops: int, stale_hops: int
-    ) -> None:
-        self.n_completed += 1
-        self.completions.add(now)
-        self.latency.record(latency)
-        self.hops_sum += hops
-
-    def record_forward(self, source: str) -> None:
-        self.route_sources[source] = self.route_sources.get(source, 0) + 1
-
-    def record_stale_hop(self, now: float) -> None:
-        self.n_stale_hops += 1
-
-    def record_replica_created(self, now: float, level: int) -> None:
-        self.replicas_created.add(now)
-        self.level_replicas[level] += 1
-
-    def record_replica_evicted(self, now: float, level: int) -> None:
-        self.replicas_evicted.add(now)
-        self.level_evictions[level] += 1
-
-    def sample_load(self, now: float, load: float) -> None:
-        self.loads.observe(now, load)
-
-    # -- derived metrics ---------------------------------------------------
-
-    @property
-    def drop_fraction(self) -> float:
-        return self.n_dropped / self.n_injected if self.n_injected else 0.0
-
-    @property
-    def completion_fraction(self) -> float:
-        return self.n_completed / self.n_injected if self.n_injected else 0.0
-
-    @property
-    def mean_hops(self) -> float:
-        return self.hops_sum / self.n_completed if self.n_completed else 0.0
-
-    @property
-    def n_replicas_created(self) -> int:
-        return sum(self.level_replicas)
-
-    def summary(self) -> Dict[str, float]:
-        """A flat dict of headline aggregates (handy for tables/tests)."""
-        return {
-            "injected": float(self.n_injected),
-            "completed": float(self.n_completed),
-            "dropped": float(self.n_dropped),
-            "drop_fraction": self.drop_fraction,
-            "mean_latency": self.latency.mean,
-            "mean_hops": self.mean_hops,
-            "replicas_created": float(self.n_replicas_created),
-            "stale_hops": float(self.n_stale_hops),
-        }
+__all__ = ["System", "SystemStats"]
 
 
 class System:
@@ -157,6 +51,7 @@ class System:
         cfg: SystemConfig,
         engine: Engine,
         owner: List[int],
+        stats: Optional[StatsSink] = None,
     ) -> None:
         self.ns = ns
         self.cfg = cfg
@@ -165,7 +60,7 @@ class System:
             engine, cfg.net_delay, net_jitter=cfg.net_jitter,
             jitter_seed=cfg.seed,
         )
-        self.stats = SystemStats(ns.max_depth)
+        self.stats = stats if stats is not None else SystemStats(ns.max_depth)
         self.rng_streams = RngStreams(cfg.seed)
         self.peers: List = []
         self.owner = owner
@@ -260,12 +155,15 @@ class System:
             self.engine.run(until=min(next_mark, t))
             if self.engine.now >= next_mark:
                 s = self.stats
-                print(
-                    f"[t={self.engine.now:8.1f}s] injected={s.n_injected} "
-                    f"completed={s.n_completed} dropped={s.n_dropped} "
-                    f"replicas={s.n_replicas_created}",
-                    flush=True,
-                )
+                if isinstance(s, SystemStats):
+                    print(
+                        f"[t={self.engine.now:8.1f}s] injected={s.n_injected} "
+                        f"completed={s.n_completed} dropped={s.n_dropped} "
+                        f"replicas={s.n_replicas_created}",
+                        flush=True,
+                    )
+                else:  # leaner sinks carry no aggregates to report
+                    print(f"[t={self.engine.now:8.1f}s]", flush=True)
                 next_mark += progress_every
 
     # ------------------------------------------------------------------

@@ -41,7 +41,9 @@ def worker_count(n_tasks: int, workers: Optional[int] = None) -> int:
         if raw in ("", "0", "none"):
             return 0
         if raw == "auto":
-            workers = os.cpu_count() or 1
+            # one worker per core even on single-core hosts: 'auto' is an
+            # explicit request for a pool, never the serial fallback
+            return min(os.cpu_count() or 1, n_tasks)
         else:
             try:
                 workers = int(raw)

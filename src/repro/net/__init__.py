@@ -1,8 +1,12 @@
 """Network substrate: message types and constant-latency transport."""
 
+from repro.net.dispatch import DispatchRegistry, UnknownMessageError
 from repro.net.message import (
     Advertisement,
+    AdvertMessage,
     ControlKind,
+    DataReply,
+    DataRequest,
     ProbeMessage,
     ProbeReplyMessage,
     QueryMessage,
@@ -15,7 +19,11 @@ from repro.net.transport import Transport
 
 __all__ = [
     "Advertisement",
+    "AdvertMessage",
     "ControlKind",
+    "DataReply",
+    "DataRequest",
+    "DispatchRegistry",
     "ProbeMessage",
     "ProbeReplyMessage",
     "QueryMessage",
@@ -24,4 +32,5 @@ __all__ = [
     "TransferAckMessage",
     "TransferMessage",
     "Transport",
+    "UnknownMessageError",
 ]

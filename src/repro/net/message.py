@@ -35,6 +35,25 @@ class Advertisement:
         return f"Advertisement(node={self.node}, server={self.server})"
 
 
+class AdvertMessage:
+    """Back-propagated new-replica notice (paper section 3.7).
+
+    When s1 forwards a query to s2 on behalf of node v and s1 recently
+    created replicas for v, s1 lets s2 know about them -- and vice
+    versa: we send it from the *processing* server back to the message
+    sender, off the critical path.
+    """
+
+    __slots__ = ("node", "servers")
+
+    def __init__(self, node: int, servers: List[int]) -> None:
+        self.node = node
+        self.servers = servers
+
+    def __repr__(self) -> str:
+        return f"AdvertMessage(node={self.node}, servers={self.servers})"
+
+
 class QueryMessage:
     """A lookup query in flight.
 

@@ -9,7 +9,7 @@ the destination server's handler.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict
 
 from repro.sim.engine import Engine
 from repro.sim.rng import exponential

@@ -1,14 +1,29 @@
-"""The TerraDir server (peer) model: queueing, state, caching."""
+"""The TerraDir server (peer) model: a layered message pipeline.
+
+``Peer`` is a slim facade composing the pipeline components:
+``IngressQueue`` (bounded FIFO + drops), ``SoftStateAbsorber``
+(piggyback intake), ``RoutingCore`` (decision + forward), and
+``ReplicaStore`` (replica lifecycle).
+"""
 
 from repro.server.cache import LRUCache
-from repro.server.peer import Peer, Replica
+from repro.server.ingress import IngressQueue
+from repro.server.peer import PEER_DISPATCH, Peer
+from repro.server.replica_store import Replica, ReplicaStore
+from repro.server.routing_core import RoutingCore
+from repro.server.softstate import SoftStateAbsorber
 from repro.server.state import Relationship, relationship_of, state_kinds
 
 __all__ = [
+    "IngressQueue",
     "LRUCache",
+    "PEER_DISPATCH",
     "Peer",
     "Relationship",
     "Replica",
+    "ReplicaStore",
+    "RoutingCore",
+    "SoftStateAbsorber",
     "relationship_of",
     "state_kinds",
 ]

@@ -1,0 +1,72 @@
+"""Bounded FIFO query intake: the M/M/1/K station of one peer.
+
+The paper's server model is a single service slot fed by a bounded
+request queue; queries arriving while the slot is busy and the queue is
+full are dropped.  :class:`IngressQueue` owns exactly that state -- the
+FIFO, the capacity, the busy flag, and the drop count -- and nothing
+else, so the queueing discipline can be audited (and swapped) without
+touching routing or replication code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class IngressQueue:
+    """Bounded FIFO request queue with drop accounting.
+
+    Attributes:
+        queue: the waiting messages (excludes the one in service).
+        capacity: maximum queued messages; arrivals beyond it drop.
+        in_service: True while the single service slot is occupied.
+        n_drops: queries dropped because the queue was full.
+    """
+
+    __slots__ = ("queue", "capacity", "in_service", "n_drops")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.queue: Deque = deque()
+        self.capacity = capacity
+        self.in_service = False
+        self.n_drops = 0
+
+    def offer(self, msg) -> bool:
+        """Append ``msg`` unless the queue is full.
+
+        Returns:
+            True when the message was queued; False when it was
+            dropped (and counted).
+        """
+        if len(self.queue) >= self.capacity:
+            self.n_drops += 1
+            return False
+        self.queue.append(msg)
+        return True
+
+    def pop(self):
+        """Dequeue the oldest waiting message (FIFO order)."""
+        return self.queue.popleft()
+
+    def clear(self) -> None:
+        """Drop all waiting messages without counting them as drops.
+
+        Used by fail-stop recovery: the requests died with the server
+        and are accounted as failure losses, not queue drops.
+        """
+        self.queue.clear()
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def __bool__(self) -> bool:
+        return len(self.queue) > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"IngressQueue(depth={len(self.queue)}/{self.capacity}, "
+            f"in_service={self.in_service}, drops={self.n_drops})"
+        )

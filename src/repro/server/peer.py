@@ -1,34 +1,48 @@
-"""The TerraDir server (peer).
+"""The TerraDir server (peer): a facade over the message pipeline.
 
 A peer owns a set of namespace nodes, may replicate others, and
 processes one query at a time from a bounded FIFO request queue
-(queries arriving in excess are dropped).  Per processed query it:
+(queries arriving in excess are dropped).  The work is layered into
+focused components, composed here:
 
-1. absorbs piggybacked soft state (load samples, digest snapshots,
-   new-replica advertisements, path cache entries),
-2. makes one routing decision (:mod:`repro.core.routing`),
-3. forwards / resolves the query, piggybacking its own soft state, and
-4. checks its load against the high-water threshold, possibly opening a
-   replication session (:mod:`repro.core.replication`).
+* :class:`~repro.server.ingress.IngressQueue` -- the bounded FIFO and
+  its drop accounting (the M/M/1/K station);
+* :class:`~repro.server.softstate.SoftStateAbsorber` -- intake of
+  piggybacked soft state (load samples, digest snapshots, new-replica
+  advertisements, path cache entries);
+* :class:`~repro.server.routing_core.RoutingCore` -- one routing
+  decision per processed query, forward/resolve with piggybacking;
+* :class:`~repro.server.replica_store.ReplicaStore` -- replica
+  lifecycle (install/evict/payloads) and source-side advertisement
+  bookkeeping;
+* :class:`~repro.core.replication.ReplicationManager` -- the adaptive
+  replication protocol sessions.
 
-Control traffic (replication probes/transfers/acks, back-propagated
-advertisements) and query responses bypass the request queue: they are
-rare, tiny, and the paper accounts for them separately.
+Inbound messages route through a typed dispatch registry
+(:class:`~repro.net.dispatch.DispatchRegistry`) instead of an
+``isinstance`` chain; control traffic (replication probes/transfers/
+acks, back-propagated advertisements) and query responses bypass the
+request queue: they are rare, tiny, and the paper accounts for them
+separately.
+
+The facade preserves the original ``Peer`` surface: shared routing
+state (maps, pins, cache, digests, ranking, metadata) lives here, and
+component-owned state (queue, replicas, known loads) is re-exposed as
+properties.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core import routing
 from repro.core.load import BusyWindowLoadMeter
 from repro.core.maps import merge_maps
 from repro.core.ranking import NodeRanking
 from repro.core.replication import ReplicationManager
 from repro.filters.digest import Digest, DigestDirectory
+from repro.net.dispatch import DispatchRegistry, UnknownMessageError
 from repro.net.message import (
-    Advertisement,
+    AdvertMessage,
     DataReply,
     DataRequest,
     ProbeMessage,
@@ -39,46 +53,36 @@ from repro.net.message import (
     TransferAckMessage,
     TransferMessage,
 )
-from repro.namespace.meta import MetaStore, NodeMeta
+from repro.namespace.meta import MetaStore
 from repro.server.cache import LRUCache
+from repro.server.ingress import IngressQueue
+from repro.server.replica_store import Replica, ReplicaStore
+from repro.server.routing_core import RoutingCore
+from repro.server.softstate import SoftStateAbsorber
 from repro.sim.rng import exponential
 
-
-class Replica:
-    """Soft state kept for one replicated node.
-
-    Replicas keep the newest meta-data version they have encountered
-    (and optionally a meta snapshot); only the owner mutates meta-data.
-    """
-
-    __slots__ = ("meta_version", "installed_at", "last_used", "meta")
-
-    def __init__(
-        self,
-        meta_version: int,
-        installed_at: float,
-        meta: "NodeMeta" = None,
-    ) -> None:
-        self.meta_version = meta_version
-        self.installed_at = installed_at
-        self.last_used = installed_at
-        self.meta = meta
+__all__ = [
+    "AdvertMessage",  # moved to repro.net.message; re-exported for compat
+    "PEER_DISPATCH",
+    "Peer",
+    "Replica",
+]
 
 
-class AdvertMessage:
-    """Back-propagated new-replica notice (paper section 3.7).
-
-    When s1 forwards a query to s2 on behalf of node v and s1 recently
-    created replicas for v, s1 lets s2 know about them -- and vice
-    versa: we send it from the *processing* server back to the message
-    sender, off the critical path.
-    """
-
-    __slots__ = ("node", "servers")
-
-    def __init__(self, node: int, servers: List[int]) -> None:
-        self.node = node
-        self.servers = servers
+#: The default message-type -> handler registry for :class:`Peer`.
+#: Handlers are attribute names, so subclasses override a handler by
+#: overriding the method; alternative endpoints may also register
+#: replacements (last registration wins) before peers are built.
+PEER_DISPATCH = DispatchRegistry("peer")
+PEER_DISPATCH.register(QueryMessage, "_on_query")
+PEER_DISPATCH.register(ResponseMessage, "_on_response")
+PEER_DISPATCH.register(ProbeMessage, "_on_probe")
+PEER_DISPATCH.register(ProbeReplyMessage, "_on_probe_reply")
+PEER_DISPATCH.register(TransferMessage, "_on_transfer")
+PEER_DISPATCH.register(TransferAckMessage, "_on_transfer_ack")
+PEER_DISPATCH.register(AdvertMessage, "_on_advert")
+PEER_DISPATCH.register(DataRequest, "_on_data_request")
+PEER_DISPATCH.register(DataReply, "_on_data_reply")
 
 
 class Peer:
@@ -90,29 +94,32 @@ class Peer:
         "cfg",
         "ns",
         "rng",
+        "stats",
         "owned",
-        "replicas",
-        "hosted_list",
         "maps",
         "pin_refs",
         "metadata",
-        "adverts_recent",
         "cache",
         "digest",
         "digest_dir",
-        "known_loads",
         "ranking",
         "meter",
-        "queue",
-        "in_service",
+        "ingress",
+        "absorber",
+        "router",
+        "store",
         "repl",
         "n_processed",
-        "n_queue_drops",
         "client_hooks",
         "failed",
         "service_mean",
         "rfact",
+        "_handlers",
     )
+
+    #: the dispatch registry bound per instance; class attribute so
+    #: subclasses can substitute a different registry wholesale.
+    dispatch_registry = PEER_DISPATCH
 
     def __init__(self, sid: int, system, owned: Iterable[int]) -> None:
         self.sid = sid
@@ -121,26 +128,25 @@ class Peer:
         self.cfg = cfg
         self.ns = system.ns
         self.rng = system.rng_streams.stream(f"peer-{sid}")
+        self.stats = system.stats
         self.owned = set(owned)
-        self.replicas: Dict[int, Replica] = {}
-        self.hosted_list: List[int] = list(self.owned)
         self.maps: Dict[int, List[int]] = {}
         self.pin_refs: Dict[int, int] = {}
         self.metadata = MetaStore()
-        self.adverts_recent: Dict[int, Deque[int]] = {}
         self.cache = LRUCache(
             cfg.cache_slots if cfg.caching_enabled else 0, rmap=cfg.rmap
         )
         self.digest: Optional[Digest] = None  # wired by the builder
         self.digest_dir: Optional[DigestDirectory] = None
-        self.known_loads: Dict[int, Tuple[float, float]] = {}
         self.ranking = NodeRanking(decay=cfg.rank_decay)
         self.meter = BusyWindowLoadMeter(window=cfg.load_window)
-        self.queue: Deque[QueryMessage] = deque()
-        self.in_service = False
+        # pipeline components
+        self.ingress = IngressQueue(cfg.queue_size)
+        self.absorber = SoftStateAbsorber(self)
+        self.router = RoutingCore(self)
+        self.store = ReplicaStore(self)
         self.repl = ReplicationManager(self)
         self.n_processed = 0
-        self.n_queue_drops = 0
         # client-layer completion callbacks: ("lookup", qid) / ("data", rid)
         self.client_hooks: Dict[Tuple[str, int], object] = {}
         self.failed = False
@@ -148,6 +154,44 @@ class Peer:
         # "The replication factor need not be the same for all servers"
         # (paper section 3.4): per-peer override, defaulting to config
         self.rfact = cfg.rfact
+        self._handlers = self.dispatch_registry.bind(self)
+
+    # ------------------------------------------------------------------
+    # component-owned state, re-exposed (public API compatibility)
+    # ------------------------------------------------------------------
+
+    @property
+    def queue(self) -> Deque[QueryMessage]:
+        """The waiting requests (the ingress FIFO, live view)."""
+        return self.ingress.queue
+
+    @property
+    def n_queue_drops(self) -> int:
+        return self.ingress.n_drops
+
+    @property
+    def in_service(self) -> bool:
+        return self.ingress.in_service
+
+    @in_service.setter
+    def in_service(self, value: bool) -> None:
+        self.ingress.in_service = value
+
+    @property
+    def replicas(self) -> Dict[int, Replica]:
+        return self.store.replicas
+
+    @property
+    def hosted_list(self) -> List[int]:
+        return self.store.hosted_list
+
+    @property
+    def adverts_recent(self) -> Dict[int, Deque[int]]:
+        return self.store.adverts_recent
+
+    @property
+    def known_loads(self) -> Dict[int, Tuple[float, float]]:
+        return self.absorber.known_loads
 
     # ------------------------------------------------------------------
     # hosting state
@@ -155,15 +199,15 @@ class Peer:
 
     def hosts(self, node: int) -> bool:
         """True if this server owns or replicates ``node``."""
-        return node in self.owned or node in self.replicas
+        return node in self.owned or node in self.store.replicas
 
     def iter_hosted(self) -> Iterator[int]:
         """All hosted node ids (owned first, then replicas)."""
-        return iter(self.hosted_list)
+        return self.store.iter_hosted()
 
     @property
     def n_hosted(self) -> int:
-        return len(self.owned) + len(self.replicas)
+        return len(self.owned) + len(self.store.replicas)
 
     def pin(self, node: int, servers: Iterable[int]) -> None:
         """Pin a neighbor map (routing context of a hosted node)."""
@@ -201,7 +245,7 @@ class Peer:
     def adopt_node(self, node: int) -> None:
         """Take ownership of ``node`` (builder wiring / membership API)."""
         self.owned.add(node)
-        self.hosted_list.append(node)
+        self.store.track_owned(node)
         self.ranking.track(node)
         self.metadata.meta(node)  # ensure a meta record exists
         entry = self.maps.setdefault(node, [])
@@ -222,95 +266,32 @@ class Peer:
         """Newest meta-data version this server knows for ``node``."""
         if node in self.owned:
             return self.metadata.meta(node).version
-        rep = self.replicas.get(node)
+        rep = self.store.replicas.get(node)
         return rep.meta_version if rep is not None else 0
 
     # ------------------------------------------------------------------
-    # replica lifecycle
+    # replica lifecycle (delegated to the store)
     # ------------------------------------------------------------------
 
     def install_replica(self, payload: ReplicaPayload, now: float) -> None:
         """Install a replica with full routing context (paper section 2.3)."""
-        node = payload.node
-        self.replicas[node] = Replica(payload.meta_version, now,
-                                      meta=payload.meta)
-        self.hosted_list.append(node)
-        self.ranking.track(node)
-        entry = self.maps.get(node)
-        merged = merge_maps(
-            entry or [], payload.node_map, self.cfg.rmap, self.rng,
-            advertised=(self.sid,),
-        )
-        self.maps[node] = merged
-        self.pin_refs[node] = self.pin_refs.get(node, 0) + 1
-        for nbr, nbr_map in payload.context.items():
-            self.pin(nbr, nbr_map)
-        # drop any stale cache entry now superseded by hosted state
-        self.cache.remove(node)
-        if self.digest is not None:
-            self.digest.add(node)
+        self.store.install(payload, now)
 
     def evict_replica(self, node: int, now: float) -> None:
         """Locally delete a replica; other servers learn lazily."""
-        rep = self.replicas.pop(node, None)
-        if rep is None:
-            return
-        self.hosted_list.remove(node)
-        self.ranking.forget(node)
-        for nbr in self.ns.neighbors(node):
-            self.unpin(nbr)
-        refs = self.pin_refs.pop(node, 0) - 1
-        entry = self.maps.pop(node, None)
-        if refs > 0:
-            # the node is also a pinned neighbor of another hosted node
-            self.pin_refs[node] = refs
-            if entry is not None:
-                self.maps[node] = [s for s in entry if s != self.sid]
-        elif entry and self.cfg.caching_enabled:
-            self.cache.put(node, [s for s in entry if s != self.sid])
-        if self.digest is not None:
-            self.digest.rebuild(self.iter_hosted())
-        self.sys.stats.record_replica_evicted(now, self.ns.depth[node])
+        self.store.evict(node, now)
 
     def build_replica_payload(self, node: int) -> Optional[ReplicaPayload]:
         """Snapshot everything a target needs to host ``node``."""
-        if not self.hosts(node):
-            return None
-        node_map = list(self.maps.get(node, ()))
-        if self.sid not in node_map:
-            node_map.insert(0, self.sid)
-        context: Dict[int, List[int]] = {}
-        for nbr in self.ns.neighbors(node):
-            context[nbr] = list(self.maps.get(nbr, ()))
-        if node in self.owned:
-            meta = self.metadata.meta(node)
-            version, snapshot = meta.version, meta.snapshot()
-        else:
-            rep = self.replicas[node]
-            version = rep.meta_version
-            snapshot = rep.meta.snapshot() if rep.meta is not None else None
-        return ReplicaPayload(node, version, node_map, context, meta=snapshot)
+        return self.store.build_payload(node)
 
     def note_replica_created(self, node: int, target: int, now: float) -> None:
         """Source-side bookkeeping after a target confirmed installation."""
-        dq = self.adverts_recent.get(node)
-        if dq is None:
-            dq = deque(maxlen=self.cfg.rmap)
-            self.adverts_recent[node] = dq
-        if target in dq:
-            dq.remove(target)
-        dq.appendleft(target)
-        entry = self.maps.get(node)
-        if entry is not None:
-            if target in entry:
-                entry.remove(target)
-            if len(entry) >= self.cfg.rmap:
-                # random eviction, but never of our own entry
-                candidates = [i for i, s in enumerate(entry) if s != self.sid]
-                if candidates:
-                    entry.pop(self.rng.choice(candidates))
-            entry.insert(0, target)
-        self.sys.stats.record_replica_created(now, self.ns.depth[node])
+        self.store.note_created(node, target, now)
+
+    def evict_idle_replicas(self, now: float) -> int:
+        """Timed eviction of long-unused replicas (section 3.5)."""
+        return self.store.evict_idle(now)
 
     # ------------------------------------------------------------------
     # map management
@@ -325,7 +306,7 @@ class Peer:
         incoming = self._filter_servers(node, incoming)
         if not incoming:
             return
-        advertised = tuple(self.adverts_recent.get(node, ()))
+        advertised = tuple(self.store.adverts_recent.get(node, ()))
         entry = self.maps.get(node)
         if entry is not None:
             keep: List[int] = []
@@ -371,35 +352,55 @@ class Peer:
     # ------------------------------------------------------------------
 
     def deliver(self, msg) -> None:
-        """Transport hands every inbound message here."""
+        """Transport hands every inbound message here.
+
+        Routing is a bound-handler dict probe (snapshot of
+        :data:`PEER_DISPATCH` taken at construction); an unregistered
+        message type raises :class:`UnknownMessageError`.
+        """
         if self.failed:
             return  # fail-stop: inbound traffic is lost
-        kind = msg.__class__
-        if kind is QueryMessage:
-            self._enqueue_query(msg)
-        elif kind is ResponseMessage:
-            self._on_response(msg)
-        elif kind is ProbeMessage:
-            self.repl.on_probe(msg, self.sys.engine.now)
-        elif kind is ProbeReplyMessage:
-            self.repl.on_probe_reply(msg, self.sys.engine.now)
-        elif kind is TransferMessage:
-            self.repl.on_transfer(msg, self.sys.engine.now)
-        elif kind is TransferAckMessage:
-            self.repl.on_ack(msg, self.sys.engine.now)
-        elif kind is AdvertMessage:
-            self._absorb_advert(msg.node, msg.servers)
-        elif kind is DataRequest:
-            self._on_data_request(msg)
-        elif kind is DataReply:
-            hook = self.client_hooks.pop(("data", msg.rid), None)
-            if hook is not None:
-                hook(msg)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unhandled message type {kind.__name__}")
+        handler = self._handlers.get(msg.__class__)
+        if handler is None:
+            raise UnknownMessageError(
+                f"peer {self.sid}: no handler registered for message type "
+                f"{msg.__class__.__name__}"
+            )
+        handler(msg)
 
     def send_control(self, dest: int, msg) -> None:
         self.sys.transport.send(dest, msg, control=True)
+
+    # -- dispatch handlers (registered in PEER_DISPATCH) ----------------
+
+    def _on_query(self, msg: QueryMessage) -> None:
+        self._enqueue_query(msg)
+
+    def _on_response(self, msg: ResponseMessage) -> None:
+        self.router.on_response(msg)
+
+    def _on_probe(self, msg: ProbeMessage) -> None:
+        self.repl.on_probe(msg, self.sys.engine.now)
+
+    def _on_probe_reply(self, msg: ProbeReplyMessage) -> None:
+        self.repl.on_probe_reply(msg, self.sys.engine.now)
+
+    def _on_transfer(self, msg: TransferMessage) -> None:
+        self.repl.on_transfer(msg, self.sys.engine.now)
+
+    def _on_transfer_ack(self, msg: TransferAckMessage) -> None:
+        self.repl.on_ack(msg, self.sys.engine.now)
+
+    def _on_advert(self, msg: AdvertMessage) -> None:
+        self.absorber.absorb_advert(msg.node, msg.servers)
+
+    def _on_data_request(self, msg: DataRequest) -> None:
+        self.router.on_data_request(msg)
+
+    def _on_data_reply(self, msg: DataReply) -> None:
+        hook = self.client_hooks.pop(("data", msg.rid), None)
+        if hook is not None:
+            hook(msg)
 
     # ------------------------------------------------------------------
     # query queueing and service
@@ -408,205 +409,38 @@ class Peer:
     def inject(self, dest: int, qid: int) -> None:
         """A client initiates a lookup for ``dest`` at this server."""
         now = self.sys.engine.now
-        self.sys.stats.record_injected(now)
+        self.stats.record_injected(now)
         msg = QueryMessage(qid, dest, self.sid, now)
         msg.via = -1
         self._enqueue_query(msg)
 
     def _enqueue_query(self, msg: QueryMessage) -> None:
-        if not self.in_service:
+        ingress = self.ingress
+        if not ingress.in_service:
             self._start_service(msg)
             return
-        if len(self.queue) >= self.cfg.queue_size:
-            self.n_queue_drops += 1
-            self.sys.stats.record_drop(self.sys.engine.now, reason="queue")
-            return
-        self.queue.append(msg)
+        if not ingress.offer(msg):
+            self.stats.record_drop(self.sys.engine.now, reason="queue")
 
     def _start_service(self, msg: QueryMessage) -> None:
-        self.in_service = True
+        self.ingress.in_service = True
         now = self.sys.engine.now
         self.meter.service_started(now)
         svc = exponential(self.rng, self.service_mean)
         self.sys.engine.schedule(now + svc, self._finish_service, msg)
 
     def _finish_service(self, msg: QueryMessage) -> None:
-        if self.failed or not self.in_service:
+        ingress = self.ingress
+        if self.failed or not ingress.in_service:
             return  # server died mid-service; the request dies with it
         now = self.sys.engine.now
         self.meter.service_finished(now)
         self.n_processed += 1
-        self._process_query(msg)
+        self.router.process(msg)
         self.repl.maybe_trigger(now)
-        self.in_service = False
-        if self.queue:
-            self._start_service(self.queue.popleft())
-
-    # ------------------------------------------------------------------
-    # query processing
-    # ------------------------------------------------------------------
-
-    def _process_query(self, m: QueryMessage) -> None:
-        now = self.sys.engine.now
-        sid = self.sid
-        stats = self.sys.stats
-
-        # -- absorb piggybacked soft state --------------------------------
-        if m.sender != sid:
-            self.known_loads[m.sender] = (m.sender_load, now)
-            if m.sender_digest is not None and self.digest_dir is not None:
-                self.digest_dir.observe(m.sender, m.sender_digest)
-        for adv in m.adverts:
-            self._absorb_advert(adv.node, (adv.server,))
-        if self.cfg.caching_enabled and self.cfg.path_propagation:
-            cache_put = self.cache.put
-            hosts = self.hosts
-            for node, server in m.path:
-                if server != sid and not hosts(node):
-                    cache_put(node, (server,))
-
-        # -- attribution of routing work (node ranking, section 3.2) ------
-        via = m.via
-        if via >= 0:
-            if self.hosts(via):
-                self.ranking.hit(via)
-                rep = self.replicas.get(via)
-                if rep is not None:
-                    rep.last_used = now
-            else:
-                m.stale_hops += 1
-                stats.record_stale_hop(now)
-
-        # -- merge the in-flight destination map into kept state ----------
-        if m.dest_map:
-            self.merge_map(m.dest, m.dest_map)
-
-        # -- route ---------------------------------------------------------
-        decision = routing.decide(self, m.dest)
-        if decision.action is routing.RouteAction.RESOLVED:
-            self._resolve(m, now)
-            return
-        if decision.action is routing.RouteAction.FAIL:
-            stats.record_drop(now, reason="routing")
-            return
-        m.hops += 1
-        if m.hops > self.cfg.max_hops:
-            stats.record_drop(now, reason="ttl")
-            return
-        stats.record_forward(decision.source)
-
-        # back-propagate fresh replica info for the node we served
-        if (
-            self.cfg.advertisement_enabled
-            and via >= 0
-            and m.sender != sid
-            and self.adverts_recent.get(via)
-        ):
-            self.send_control(
-                m.sender, AdvertMessage(via, list(self.adverts_recent[via]))
-            )
-
-        # -- piggyback and forward -----------------------------------------
-        if via >= 0 and self.hosts(via):
-            m.path.append((via, sid))
-        m.via = decision.via
-        m.sender = sid
-        m.sender_load = self.meter.load()
-        if self.cfg.digests_enabled and self.digest is not None:
-            m.sender_digest = self.digest.snapshot()
-        if self.cfg.advertisement_enabled:
-            adv_out: List[Advertisement] = []
-            for node in (decision.via, m.dest):
-                dq = self.adverts_recent.get(node)
-                if dq:
-                    adv_out.extend(Advertisement(node, s) for s in dq)
-            m.adverts = adv_out
-        else:
-            m.adverts = []
-        local_map = self.maps.get(m.dest) or self.cache.peek(m.dest) or ()
-        advertised = tuple(self.adverts_recent.get(m.dest, ()))
-        m.dest_map = merge_maps(
-            local_map, m.dest_map, self.cfg.rmap, self.rng, advertised=advertised
-        )
-        self.sys.transport.send(decision.next_server, m)
-
-    def _resolve(self, m: QueryMessage, now: float) -> None:
-        """The query reached a host of its destination: lookup complete."""
-        self.ranking.hit(m.dest)
-        rep = self.replicas.get(m.dest)
-        if rep is not None:
-            rep.last_used = now
-        m.path.append((m.dest, self.sid))
-        entry = list(self.maps.get(m.dest, ()))
-        if self.sid not in entry:
-            entry.insert(0, self.sid)
-        resp = ResponseMessage(
-            m, resolver=self.sid, dest_map=entry,
-            meta_version=self.meta_version_of(m.dest),
-        )
-        resp.sender_load = self.meter.load()
-        if self.cfg.digests_enabled and self.digest is not None:
-            resp.sender_digest = self.digest.snapshot()
-        if m.origin == self.sid:
-            self._on_response(resp)
-        else:
-            # responses return directly to the origin, bypassing queues
-            self.sys.transport.send(m.origin, resp)
-
-    def _on_response(self, r: ResponseMessage) -> None:
-        now = self.sys.engine.now
-        if r.resolver != self.sid:
-            self.known_loads[r.resolver] = (r.sender_load, now)
-            if r.sender_digest is not None and self.digest_dir is not None:
-                self.digest_dir.observe(r.resolver, r.sender_digest)
-        if self.cfg.caching_enabled:
-            if not self.hosts(r.dest):
-                self.cache.put(
-                    r.dest, self._filter_servers(r.dest, r.dest_map)
-                )
-            if self.cfg.path_propagation:
-                for node, server in r.path:
-                    if server != self.sid and not self.hosts(node):
-                        self.cache.put(node, (server,))
-        latency = now - r.created_at
-        self.sys.stats.record_completion(now, latency, r.hops, r.stale_hops)
-        hook = self.client_hooks.pop(("lookup", r.qid), None)
-        if hook is not None:
-            hook(r)
-
-    def _on_data_request(self, req: DataRequest) -> None:
-        """Second-step retrieval (paper section 2.1): serve data/meta if
-        we own the node, else redirect with our map for it."""
-        reply = DataReply(req.rid, req.node, self.sid)
-        if req.node in self.owned:
-            if req.want_meta:
-                reply.meta = self.metadata.meta(req.node).snapshot()
-            else:
-                reply.data = self.metadata.get_data(req.node)
-                reply.meta = self.metadata.meta(req.node).snapshot()
-        else:
-            entry = self.maps.get(req.node) or (
-                self.cache.peek(req.node) if self.cache is not None else None
-            )
-            reply.redirect_map = [s for s in (entry or []) if s != self.sid]
-        self.sys.transport.send(req.origin, reply)
-
-    def _absorb_advert(self, node: int, servers: Iterable[int]) -> None:
-        """Fold advertised new replicas into kept maps, preferred."""
-        entry = self.maps.get(node)
-        if entry is not None:
-            for s in servers:
-                if s in entry:
-                    continue
-                if len(entry) >= self.cfg.rmap:
-                    idx = [i for i, e in enumerate(entry) if e != self.sid]
-                    if not idx:
-                        continue
-                    entry.pop(self.rng.choice(idx))
-                entry.insert(0, s)
-            return
-        if self.cfg.caching_enabled and node in self.cache:
-            self.cache.put(node, list(servers))
+        ingress.in_service = False
+        if ingress.queue:
+            self._start_service(ingress.pop())
 
     # ------------------------------------------------------------------
     # periodic maintenance (driven by the system)
@@ -619,21 +453,9 @@ class Peer:
     def rescale_ranking(self) -> None:
         self.ranking.rescale()
 
-    def evict_idle_replicas(self, now: float) -> int:
-        """Timed eviction of long-unused replicas (section 3.5)."""
-        timeout = self.cfg.replica_idle_timeout
-        if timeout <= 0:
-            return 0
-        victims = [
-            v for v, rep in self.replicas.items()
-            if now - rep.last_used > timeout
-        ]
-        for v in victims:
-            self.evict_replica(v, now)
-        return len(victims)
-
     def __repr__(self) -> str:
         return (
             f"Peer(sid={self.sid}, owned={len(self.owned)}, "
-            f"replicas={len(self.replicas)}, load={self.meter.measured():.2f})"
+            f"replicas={len(self.store.replicas)}, "
+            f"load={self.meter.measured():.2f})"
         )

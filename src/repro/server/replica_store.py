@@ -1,0 +1,185 @@
+"""Replica lifecycle for one peer: install, evict, snapshot, advertise.
+
+Owns the replica table, the hosted-node list (owned first, then
+replicas -- the order :func:`repro.core.routing.closest_hosted`
+iterates), and the per-node record of recently created replicas used
+for advertisement piggybacking.  Shared peer state (maps, pins, cache,
+digest, ranking) is reached through the composing
+:class:`~repro.server.peer.Peer`, which remains the single owner of
+that state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.core.maps import merge_maps
+from repro.namespace.meta import NodeMeta
+from repro.net.message import ReplicaPayload
+
+
+class Replica:
+    """Soft state kept for one replicated node.
+
+    Replicas keep the newest meta-data version they have encountered
+    (and optionally a meta snapshot); only the owner mutates meta-data.
+    """
+
+    __slots__ = ("meta_version", "installed_at", "last_used", "meta")
+
+    def __init__(
+        self,
+        meta_version: int,
+        installed_at: float,
+        meta: NodeMeta = None,
+    ) -> None:
+        self.meta_version = meta_version
+        self.installed_at = installed_at
+        self.last_used = installed_at
+        self.meta = meta
+
+
+class ReplicaStore:
+    """Replica lifecycle and source-side replication bookkeeping."""
+
+    __slots__ = ("peer", "replicas", "hosted_list", "adverts_recent")
+
+    def __init__(self, peer) -> None:
+        self.peer = peer
+        self.replicas: Dict[int, Replica] = {}
+        self.hosted_list: List[int] = list(peer.owned)
+        self.adverts_recent: Dict[int, Deque[int]] = {}
+
+    # ------------------------------------------------------------------
+    # hosting state
+    # ------------------------------------------------------------------
+
+    def iter_hosted(self) -> Iterator[int]:
+        """All hosted node ids (owned first, then replicas)."""
+        return iter(self.hosted_list)
+
+    def track_owned(self, node: int) -> None:
+        """Record a newly adopted owned node in the hosted list."""
+        self.hosted_list.append(node)
+
+    def touch(self, node: int, now: float) -> None:
+        """Refresh a replica's last-used time (if one exists)."""
+        rep = self.replicas.get(node)
+        if rep is not None:
+            rep.last_used = now
+
+    # ------------------------------------------------------------------
+    # install / evict
+    # ------------------------------------------------------------------
+
+    def install(self, payload: ReplicaPayload, now: float) -> None:
+        """Install a replica with full routing context (paper section 2.3)."""
+        peer = self.peer
+        node = payload.node
+        self.replicas[node] = Replica(payload.meta_version, now,
+                                      meta=payload.meta)
+        self.hosted_list.append(node)
+        peer.ranking.track(node)
+        entry = peer.maps.get(node)
+        merged = merge_maps(
+            entry or [], payload.node_map, peer.cfg.rmap, peer.rng,
+            advertised=(peer.sid,),
+        )
+        peer.maps[node] = merged
+        peer.pin_refs[node] = peer.pin_refs.get(node, 0) + 1
+        for nbr, nbr_map in payload.context.items():
+            peer.pin(nbr, nbr_map)
+        # drop any stale cache entry now superseded by hosted state
+        peer.cache.remove(node)
+        if peer.digest is not None:
+            peer.digest.add(node)
+
+    def evict(self, node: int, now: float) -> None:
+        """Locally delete a replica; other servers learn lazily."""
+        peer = self.peer
+        rep = self.replicas.pop(node, None)
+        if rep is None:
+            return
+        self.hosted_list.remove(node)
+        peer.ranking.forget(node)
+        for nbr in peer.ns.neighbors(node):
+            peer.unpin(nbr)
+        refs = peer.pin_refs.pop(node, 0) - 1
+        entry = peer.maps.pop(node, None)
+        if refs > 0:
+            # the node is also a pinned neighbor of another hosted node
+            peer.pin_refs[node] = refs
+            if entry is not None:
+                peer.maps[node] = [s for s in entry if s != peer.sid]
+        elif entry and peer.cfg.caching_enabled:
+            peer.cache.put(node, [s for s in entry if s != peer.sid])
+        if peer.digest is not None:
+            peer.digest.rebuild(self.iter_hosted())
+        peer.stats.record_replica_evicted(now, peer.ns.depth[node])
+
+    def evict_idle(self, now: float) -> int:
+        """Timed eviction of long-unused replicas (section 3.5)."""
+        timeout = self.peer.cfg.replica_idle_timeout
+        if timeout <= 0:
+            return 0
+        victims = [
+            v for v, rep in self.replicas.items()
+            if now - rep.last_used > timeout
+        ]
+        for v in victims:
+            self.evict(v, now)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # source side: payload snapshots and creation bookkeeping
+    # ------------------------------------------------------------------
+
+    def build_payload(self, node: int) -> Optional[ReplicaPayload]:
+        """Snapshot everything a target needs to host ``node``."""
+        peer = self.peer
+        if not peer.hosts(node):
+            return None
+        node_map = list(peer.maps.get(node, ()))
+        if peer.sid not in node_map:
+            node_map.insert(0, peer.sid)
+        context: Dict[int, List[int]] = {}
+        for nbr in peer.ns.neighbors(node):
+            context[nbr] = list(peer.maps.get(nbr, ()))
+        if node in peer.owned:
+            meta = peer.metadata.meta(node)
+            version, snapshot = meta.version, meta.snapshot()
+        else:
+            rep = self.replicas[node]
+            version = rep.meta_version
+            snapshot = rep.meta.snapshot() if rep.meta is not None else None
+        return ReplicaPayload(node, version, node_map, context, meta=snapshot)
+
+    def note_created(self, node: int, target: int, now: float) -> None:
+        """Source-side bookkeeping after a target confirmed installation."""
+        peer = self.peer
+        dq = self.adverts_recent.get(node)
+        if dq is None:
+            dq = deque(maxlen=peer.cfg.rmap)
+            self.adverts_recent[node] = dq
+        if target in dq:
+            dq.remove(target)
+        dq.appendleft(target)
+        entry = peer.maps.get(node)
+        if entry is not None:
+            if target in entry:
+                entry.remove(target)
+            if len(entry) >= peer.cfg.rmap:
+                # random eviction, but never of our own entry
+                candidates = [i for i, s in enumerate(entry) if s != peer.sid]
+                if candidates:
+                    entry.pop(peer.rng.choice(candidates))
+            entry.insert(0, target)
+        peer.stats.record_replica_created(now, peer.ns.depth[node])
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaStore(replicas={len(self.replicas)}, "
+            f"hosted={len(self.hosted_list)}, "
+            f"advertised_nodes={len(self.adverts_recent)})"
+        )

@@ -1,0 +1,171 @@
+"""The forwarding plane of one peer: decision, resolve, respond.
+
+Per processed query the core absorbs piggybacked soft state (delegated
+to the peer's :class:`~repro.server.softstate.SoftStateAbsorber`),
+attributes routing work to the node the query travelled on behalf of,
+makes exactly one routing decision (:mod:`repro.core.routing`), and
+either resolves locally or forwards with this peer's own soft state
+piggybacked on.  Responses and second-step data requests are handled
+here too: they are forwarding-plane traffic that bypasses the request
+queue.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import routing
+from repro.core.maps import merge_maps
+from repro.net.message import (
+    Advertisement,
+    AdvertMessage,
+    DataReply,
+    DataRequest,
+    QueryMessage,
+    ResponseMessage,
+)
+
+
+class RoutingCore:
+    """Decision + forward logic, stateless apart from the peer reference."""
+
+    __slots__ = ("peer",)
+
+    def __init__(self, peer) -> None:
+        self.peer = peer
+
+    # ------------------------------------------------------------------
+    # query processing
+    # ------------------------------------------------------------------
+
+    def process(self, m: QueryMessage) -> None:
+        """One full processing step for a dequeued query."""
+        peer = self.peer
+        now = peer.sys.engine.now
+        sid = peer.sid
+        stats = peer.stats
+        store = peer.store
+
+        # -- absorb piggybacked soft state --------------------------------
+        peer.absorber.absorb_query(m, now)
+
+        # -- attribution of routing work (node ranking, section 3.2) ------
+        via = m.via
+        if via >= 0:
+            if peer.hosts(via):
+                peer.ranking.hit(via)
+                store.touch(via, now)
+            else:
+                m.stale_hops += 1
+                stats.record_stale_hop(now)
+
+        # -- merge the in-flight destination map into kept state ----------
+        if m.dest_map:
+            peer.merge_map(m.dest, m.dest_map)
+
+        # -- route ---------------------------------------------------------
+        decision = routing.decide(peer, m.dest)
+        if decision.action is routing.RouteAction.RESOLVED:
+            self.resolve(m, now)
+            return
+        if decision.action is routing.RouteAction.FAIL:
+            stats.record_drop(now, reason="routing")
+            return
+        m.hops += 1
+        if m.hops > peer.cfg.max_hops:
+            stats.record_drop(now, reason="ttl")
+            return
+        stats.record_forward(decision.source)
+
+        # back-propagate fresh replica info for the node we served
+        if (
+            peer.cfg.advertisement_enabled
+            and via >= 0
+            and m.sender != sid
+            and store.adverts_recent.get(via)
+        ):
+            peer.send_control(
+                m.sender, AdvertMessage(via, list(store.adverts_recent[via]))
+            )
+
+        # -- piggyback and forward -----------------------------------------
+        if via >= 0 and peer.hosts(via):
+            m.path.append((via, sid))
+        m.via = decision.via
+        m.sender = sid
+        m.sender_load = peer.meter.load()
+        if peer.cfg.digests_enabled and peer.digest is not None:
+            m.sender_digest = peer.digest.snapshot()
+        if peer.cfg.advertisement_enabled:
+            adv_out: List[Advertisement] = []
+            for node in (decision.via, m.dest):
+                dq = store.adverts_recent.get(node)
+                if dq:
+                    adv_out.extend(Advertisement(node, s) for s in dq)
+            m.adverts = adv_out
+        else:
+            m.adverts = []
+        local_map = peer.maps.get(m.dest) or peer.cache.peek(m.dest) or ()
+        advertised = tuple(store.adverts_recent.get(m.dest, ()))
+        m.dest_map = merge_maps(
+            local_map, m.dest_map, peer.cfg.rmap, peer.rng,
+            advertised=advertised,
+        )
+        peer.sys.transport.send(decision.next_server, m)
+
+    def resolve(self, m: QueryMessage, now: float) -> None:
+        """The query reached a host of its destination: lookup complete."""
+        peer = self.peer
+        peer.ranking.hit(m.dest)
+        peer.store.touch(m.dest, now)
+        m.path.append((m.dest, peer.sid))
+        entry = list(peer.maps.get(m.dest, ()))
+        if peer.sid not in entry:
+            entry.insert(0, peer.sid)
+        resp = ResponseMessage(
+            m, resolver=peer.sid, dest_map=entry,
+            meta_version=peer.meta_version_of(m.dest),
+        )
+        resp.sender_load = peer.meter.load()
+        if peer.cfg.digests_enabled and peer.digest is not None:
+            resp.sender_digest = peer.digest.snapshot()
+        if m.origin == peer.sid:
+            self.on_response(resp)
+        else:
+            # responses return directly to the origin, bypassing queues
+            peer.sys.transport.send(m.origin, resp)
+
+    # ------------------------------------------------------------------
+    # response and data planes
+    # ------------------------------------------------------------------
+
+    def on_response(self, r: ResponseMessage) -> None:
+        peer = self.peer
+        now = peer.sys.engine.now
+        peer.absorber.absorb_response(r, now)
+        latency = now - r.created_at
+        peer.stats.record_completion(now, latency, r.hops, r.stale_hops)
+        hook = peer.client_hooks.pop(("lookup", r.qid), None)
+        if hook is not None:
+            hook(r)
+
+    def on_data_request(self, req: DataRequest) -> None:
+        """Second-step retrieval (paper section 2.1): serve data/meta if
+        we own the node, else redirect with our map for it."""
+        peer = self.peer
+        reply = DataReply(req.rid, req.node, peer.sid)
+        if req.node in peer.owned:
+            if req.want_meta:
+                reply.meta = peer.metadata.meta(req.node).snapshot()
+            else:
+                reply.data = peer.metadata.get_data(req.node)
+                reply.meta = peer.metadata.meta(req.node).snapshot()
+        else:
+            entry = peer.maps.get(req.node) or (
+                peer.cache.peek(req.node) if peer.cache is not None else None
+            )
+            reply.redirect_map = [s for s in (entry or []) if s != peer.sid]
+        peer.sys.transport.send(req.origin, reply)
+
+    def __repr__(self) -> str:
+        return f"RoutingCore(peer={self.peer.sid})"

@@ -1,0 +1,96 @@
+"""Soft-state intake: everything a peer learns from piggybacked data.
+
+All in-band dissemination in the protocol arrives as piggyback on
+query/response traffic (plus the rare back-propagated advert message):
+load samples, digest snapshots, new-replica advertisements, and path
+cache entries.  :class:`SoftStateAbsorber` is the single place that
+state enters a peer, keeping the intake plane separate from the
+forwarding decision (:class:`~repro.server.routing_core.RoutingCore`)
+the way digest-maintenance planes are kept off the forwarding path in
+Bloom-filter routing stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.net.message import QueryMessage, ResponseMessage
+
+
+class SoftStateAbsorber:
+    """Absorbs piggybacked soft state into a peer's tables.
+
+    Owns the in-band load-sample table (``known_loads``); all other
+    touched state (maps, cache, digest directory) stays owned by the
+    composing peer.
+    """
+
+    __slots__ = ("peer", "known_loads")
+
+    def __init__(self, peer) -> None:
+        self.peer = peer
+        # server id -> (last load sample, sample time)
+        self.known_loads: Dict[int, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # per-message intake
+    # ------------------------------------------------------------------
+
+    def note_load(self, server: int, load: float, now: float) -> None:
+        """Record an in-band load sample for ``server``."""
+        self.known_loads[server] = (load, now)
+
+    def absorb_query(self, m: QueryMessage, now: float) -> None:
+        """Intake of everything piggybacked on a forwarded query."""
+        peer = self.peer
+        sid = peer.sid
+        if m.sender != sid:
+            self.known_loads[m.sender] = (m.sender_load, now)
+            if m.sender_digest is not None and peer.digest_dir is not None:
+                peer.digest_dir.observe(m.sender, m.sender_digest)
+        for adv in m.adverts:
+            self.absorb_advert(adv.node, (adv.server,))
+        if peer.cfg.caching_enabled and peer.cfg.path_propagation:
+            cache_put = peer.cache.put
+            hosts = peer.hosts
+            for node, server in m.path:
+                if server != sid and not hosts(node):
+                    cache_put(node, (server,))
+
+    def absorb_response(self, r: ResponseMessage, now: float) -> None:
+        """Intake of everything piggybacked on a query response."""
+        peer = self.peer
+        if r.resolver != peer.sid:
+            self.known_loads[r.resolver] = (r.sender_load, now)
+            if r.sender_digest is not None and peer.digest_dir is not None:
+                peer.digest_dir.observe(r.resolver, r.sender_digest)
+        if peer.cfg.caching_enabled:
+            if not peer.hosts(r.dest):
+                peer.cache.put(
+                    r.dest, peer._filter_servers(r.dest, r.dest_map)
+                )
+            if peer.cfg.path_propagation:
+                for node, server in r.path:
+                    if server != peer.sid and not peer.hosts(node):
+                        peer.cache.put(node, (server,))
+
+    def absorb_advert(self, node: int, servers: Iterable[int]) -> None:
+        """Fold advertised new replicas into kept maps, preferred."""
+        peer = self.peer
+        entry = peer.maps.get(node)
+        if entry is not None:
+            for s in servers:
+                if s in entry:
+                    continue
+                if len(entry) >= peer.cfg.rmap:
+                    idx = [i for i, e in enumerate(entry) if e != peer.sid]
+                    if not idx:
+                        continue
+                    entry.pop(peer.rng.choice(idx))
+                entry.insert(0, s)
+            return
+        if peer.cfg.caching_enabled and node in peer.cache:
+            peer.cache.put(node, list(servers))
+
+    def __repr__(self) -> str:
+        return f"SoftStateAbsorber(known_loads={len(self.known_loads)})"

@@ -29,6 +29,10 @@ class EventHandle:
     def cancel(self) -> None:
         self.cancelled = True
 
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle({state})"
+
 
 class Engine:
     """Priority-queue discrete-event simulator core.
@@ -53,6 +57,12 @@ class Engine:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self.now:.6f}, pending={len(self._heap)}, "
+            f"dispatched={self.n_dispatched})"
+        )
 
     def schedule(
         self, time: float, fn: Callable, *args: Any, handle: bool = False

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import random
 import zlib
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -5,11 +5,17 @@ replicas created/s, mean/max load/s) or an aggregate (drop fraction,
 mean latency, per-level replica counts).  :class:`TimeSeries` buckets
 values into integer-second bins; :class:`WindowAverager` produces the
 w-second smoothed maxima of Fig. 6 (right).
+
+Components never talk to a concrete collector: they record through the
+:class:`StatsSink` protocol.  :class:`SystemStats` is the full
+collector every experiment uses; :class:`NullSink` drops everything
+(hot benchmark runs pay zero collection cost); :class:`MultiSink` fans
+one stream of events out to several sinks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class Counter:
@@ -152,3 +158,247 @@ class LatencyStats:
             if acc >= target:
                 return (b + 1) * self._hist_width
         return self.max
+
+
+class StatsSink:
+    """The recording protocol every simulation component reports into.
+
+    The base class implements every hook as a no-op, so a sink only
+    overrides what it cares about.  Hooks must never influence
+    simulation behaviour (no RNG use, no engine scheduling): swapping
+    sinks must leave a fixed-seed run bit-identical.
+    """
+
+    __slots__ = ()
+
+    # -- server plane ----------------------------------------------------
+
+    def record_injected(self, now: float) -> None:
+        pass
+
+    def record_drop(self, now: float, reason: str = "queue") -> None:
+        pass
+
+    def record_completion(
+        self, now: float, latency: float, hops: int, stale_hops: int
+    ) -> None:
+        pass
+
+    def record_forward(self, source: str) -> None:
+        pass
+
+    def record_stale_hop(self, now: float) -> None:
+        pass
+
+    def record_replica_created(self, now: float, level: int) -> None:
+        pass
+
+    def record_replica_evicted(self, now: float, level: int) -> None:
+        pass
+
+    def sample_load(self, now: float, load: float) -> None:
+        pass
+
+    # -- client plane ----------------------------------------------------
+
+    def record_client_lookup(self, now: float) -> None:
+        pass
+
+    def record_client_timeout(self, now: float) -> None:
+        pass
+
+    def record_client_retry(self, now: float) -> None:
+        pass
+
+
+class NullSink(StatsSink):
+    """Drops every recording: zero collection cost for hot runs."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NullSink()"
+
+
+class MultiSink(StatsSink):
+    """Fans every recording out to an ordered list of sinks."""
+
+    __slots__ = ("sinks",)
+
+    def __init__(self, sinks: Iterable[StatsSink]) -> None:
+        self.sinks = list(sinks)
+
+    def record_injected(self, now: float) -> None:
+        for s in self.sinks:
+            s.record_injected(now)
+
+    def record_drop(self, now: float, reason: str = "queue") -> None:
+        for s in self.sinks:
+            s.record_drop(now, reason=reason)
+
+    def record_completion(
+        self, now: float, latency: float, hops: int, stale_hops: int
+    ) -> None:
+        for s in self.sinks:
+            s.record_completion(now, latency, hops, stale_hops)
+
+    def record_forward(self, source: str) -> None:
+        for s in self.sinks:
+            s.record_forward(source)
+
+    def record_stale_hop(self, now: float) -> None:
+        for s in self.sinks:
+            s.record_stale_hop(now)
+
+    def record_replica_created(self, now: float, level: int) -> None:
+        for s in self.sinks:
+            s.record_replica_created(now, level)
+
+    def record_replica_evicted(self, now: float, level: int) -> None:
+        for s in self.sinks:
+            s.record_replica_evicted(now, level)
+
+    def sample_load(self, now: float, load: float) -> None:
+        for s in self.sinks:
+            s.sample_load(now, load)
+
+    def record_client_lookup(self, now: float) -> None:
+        for s in self.sinks:
+            s.record_client_lookup(now)
+
+    def record_client_timeout(self, now: float) -> None:
+        for s in self.sinks:
+            s.record_client_timeout(now)
+
+    def record_client_retry(self, now: float) -> None:
+        for s in self.sinks:
+            s.record_client_retry(now)
+
+    def __repr__(self) -> str:
+        return f"MultiSink({self.sinks!r})"
+
+
+class SystemStats(StatsSink):
+    """All metrics the paper's evaluation section reports.
+
+    Time series use 1-second bins to match the paper's per-second plots.
+    """
+
+    __slots__ = (
+        "injected",
+        "drops",
+        "completions",
+        "replicas_created",
+        "replicas_evicted",
+        "loads",
+        "latency",
+        "n_injected",
+        "n_completed",
+        "n_dropped",
+        "drop_reasons",
+        "n_stale_hops",
+        "hops_sum",
+        "route_sources",
+        "level_replicas",
+        "level_evictions",
+        "n_client_lookups",
+        "n_client_timeouts",
+        "n_client_retries",
+    )
+
+    def __init__(self, max_depth: int) -> None:
+        self.injected = TimeSeries()
+        self.drops = TimeSeries()
+        self.completions = TimeSeries()
+        self.replicas_created = TimeSeries()
+        self.replicas_evicted = TimeSeries()
+        self.loads = TimeSeries()
+        self.latency = LatencyStats()
+        self.n_injected = 0
+        self.n_completed = 0
+        self.n_dropped = 0
+        self.drop_reasons: Dict[str, int] = {}
+        self.n_stale_hops = 0
+        self.hops_sum = 0
+        self.route_sources: Dict[str, int] = {}
+        self.level_replicas = [0] * (max_depth + 1)
+        self.level_evictions = [0] * (max_depth + 1)
+        self.n_client_lookups = 0
+        self.n_client_timeouts = 0
+        self.n_client_retries = 0
+
+    # -- recording hooks (called through the StatsSink protocol) ---------
+
+    def record_injected(self, now: float) -> None:
+        self.n_injected += 1
+        self.injected.add(now)
+
+    def record_drop(self, now: float, reason: str = "queue") -> None:
+        self.n_dropped += 1
+        self.drops.add(now)
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+    def record_completion(
+        self, now: float, latency: float, hops: int, stale_hops: int
+    ) -> None:
+        self.n_completed += 1
+        self.completions.add(now)
+        self.latency.record(latency)
+        self.hops_sum += hops
+
+    def record_forward(self, source: str) -> None:
+        self.route_sources[source] = self.route_sources.get(source, 0) + 1
+
+    def record_stale_hop(self, now: float) -> None:
+        self.n_stale_hops += 1
+
+    def record_replica_created(self, now: float, level: int) -> None:
+        self.replicas_created.add(now)
+        self.level_replicas[level] += 1
+
+    def record_replica_evicted(self, now: float, level: int) -> None:
+        self.replicas_evicted.add(now)
+        self.level_evictions[level] += 1
+
+    def sample_load(self, now: float, load: float) -> None:
+        self.loads.observe(now, load)
+
+    def record_client_lookup(self, now: float) -> None:
+        self.n_client_lookups += 1
+
+    def record_client_timeout(self, now: float) -> None:
+        self.n_client_timeouts += 1
+
+    def record_client_retry(self, now: float) -> None:
+        self.n_client_retries += 1
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.n_dropped / self.n_injected if self.n_injected else 0.0
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.n_completed / self.n_injected if self.n_injected else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.hops_sum / self.n_completed if self.n_completed else 0.0
+
+    @property
+    def n_replicas_created(self) -> int:
+        return sum(self.level_replicas)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline aggregates (handy for tables/tests)."""
+        return {
+            "injected": float(self.n_injected),
+            "completed": float(self.n_completed),
+            "dropped": float(self.n_dropped),
+            "drop_fraction": self.drop_fraction,
+            "mean_latency": self.latency.mean,
+            "mean_hops": self.mean_hops,
+            "replicas_created": float(self.n_replicas_created),
+            "stale_hops": float(self.n_stale_hops),
+        }

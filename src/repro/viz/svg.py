@@ -11,7 +11,7 @@ titles on every mark. Light-surface rendering (#fcfcfb).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 from xml.sax.saxutils import escape
 
 #: Validated categorical palette (fixed slot order -- the ordering is

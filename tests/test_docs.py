@@ -8,8 +8,6 @@ import pathlib
 import pkgutil
 import re
 
-import pytest
-
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
 

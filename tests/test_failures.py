@@ -7,7 +7,7 @@ from repro.cluster.config import SystemConfig
 from repro.cluster.failures import FailureInjector, unreachable_nodes
 from repro.namespace.generators import balanced_tree
 from repro.workload.arrivals import WorkloadDriver
-from repro.workload.streams import unif_stream, uzipf_stream
+from repro.workload.streams import uzipf_stream
 
 
 def make(n_servers=16, levels=7, **over):

@@ -13,7 +13,7 @@ from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
 from repro.namespace.generators import balanced_tree
 from repro.workload.arrivals import WorkloadDriver
-from repro.workload.streams import cuzipf_stream, unif_stream
+from repro.workload.streams import cuzipf_stream
 
 
 N_SERVERS = 24

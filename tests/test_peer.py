@@ -4,8 +4,7 @@ import pytest
 
 from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
-from repro.namespace.generators import balanced_tree, university_tree
-from repro.net.message import QueryMessage
+from repro.namespace.generators import balanced_tree
 
 
 def make(n_servers=4, levels=4, **over):

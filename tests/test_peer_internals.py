@@ -1,7 +1,5 @@
 """Deeper unit tests of peer internals: pins, maps, adverts, digests."""
 
-import pytest
-
 from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
 from repro.namespace.generators import balanced_tree

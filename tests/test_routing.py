@@ -1,13 +1,10 @@
 """Unit tests for the routing procedure, including the paper's Fig. 1
 and Fig. 2 walk-throughs."""
 
-import pytest
-
 from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
-from repro.core import routing
 from repro.core.routing import RouteAction, decide, inferable_names
-from repro.namespace.generators import balanced_tree, university_tree
+from repro.namespace.generators import university_tree
 
 
 def uni_system(**cfg_over):

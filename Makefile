@@ -7,8 +7,11 @@
 #   make experiments  print every figure's data (REPRO_SCALE=tiny|small|paper)
 #   make figures      render every figure as SVG into figures/
 #   make outputs      the canonical test_output.txt / bench_output.txt pair
+#   make profile      run fig3 under the event-loop profiler
+#   make bench-micro  hot-path events/sec vs the committed BENCH_micro.json
 
 PYTHON ?= python
+PROFILE_FIGS ?= fig3
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -28,8 +31,14 @@ experiments:
 figures:
 	$(PYTHON) -m repro.viz.figures --out figures
 
+profile:
+	$(PYTHON) -m repro profile $(PROFILE_FIGS)
+
+bench-micro:
+	$(PYTHON) -m repro bench-micro --out bench_micro.json --check BENCH_micro.json
+
 outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install lint test bench experiments figures outputs
+.PHONY: install lint test bench experiments figures outputs profile bench-micro

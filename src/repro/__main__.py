@@ -1,8 +1,30 @@
-"""``python -m repro`` -- run the experiment suite (see experiments.runner)."""
+"""``python -m repro`` -- run experiments, or profile them.
+
+* ``python -m repro [fig ...]`` -- the experiment suite
+  (see :mod:`repro.experiments.runner`);
+* ``python -m repro profile <fig> [...]`` -- the same experiments under
+  the event-loop profiler (see :mod:`repro.sim.profile`);
+* ``python -m repro bench-micro [--out F] [--check BASELINE]`` -- the
+  NullSink micro-benchmark (see :mod:`repro.experiments.bench_micro`).
+"""
 
 import sys
 
-from repro.experiments.runner import main
+
+def main(argv) -> int:
+    if argv and argv[0] == "profile":
+        from repro.sim.profile import main as profile_main
+
+        return profile_main(argv[1:])
+    if argv and argv[0] == "bench-micro":
+        from repro.experiments.bench_micro import main as bench_main
+
+        return bench_main(argv[1:])
+    from repro.experiments.runner import main as runner_main
+
+    runner_main(argv)
+    return 0
+
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

@@ -51,6 +51,14 @@ class TerraDirClient:
         self.lookup_timeout = lookup_timeout
         self.retrieve_attempts = retrieve_attempts
         self.lookup_retries = lookup_retries
+        # hot-path plumbing, bound once: the per-lookup timeout goes
+        # through the timer-wheel (cancel-heavy; keeps the engine heap
+        # free of dead timeout entries), and sink hooks are cached so
+        # each recording is one call, not an attribute chain
+        self._timers = system.timers
+        self._record_lookup = system.stats.record_client_lookup
+        self._record_timeout = system.stats.record_client_timeout
+        self._record_retry = system.stats.record_client_retry
         self._rid = 0
         self.n_lookups = 0
         self.n_retrievals = 0
@@ -80,11 +88,11 @@ class TerraDirClient:
         queue drops and failures.
         """
         self.n_lookups += 1
-        self.system.stats.record_client_lookup(self.system.engine.now)
+        self._record_lookup(self.system.engine.now)
         qid = self.system.inject(self.home.sid, node)
-        timeout = self.system.engine.schedule_after(
+        timeout = self._timers.schedule_after(
             self.lookup_timeout, self._on_lookup_timeout,
-            qid, node, future, retries_left, handle=True,
+            qid, node, future, retries_left,
         )
 
         def on_response(resp) -> None:
@@ -106,10 +114,10 @@ class TerraDirClient:
                            retries_left: int) -> None:
         self.home.client_hooks.pop(("lookup", qid), None)
         self.n_timeouts += 1
-        self.system.stats.record_client_timeout(self.system.engine.now)
+        self._record_timeout(self.system.engine.now)
         if retries_left > 0:
             self.n_retries += 1
-            self.system.stats.record_client_retry(self.system.engine.now)
+            self._record_retry(self.system.engine.now)
             self._issue_lookup(node, future, retries_left - 1)
             return
         future.fail("lookup timed out (query dropped or still queued)")

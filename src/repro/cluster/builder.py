@@ -21,6 +21,7 @@ from repro.namespace.generators import assign_nodes_to_servers
 from repro.namespace.tree import Namespace
 from repro.server.peer import Peer
 from repro.sim.engine import Engine
+from repro.sim.profile import make_engine
 from repro.sim.stats import StatsSink
 
 
@@ -60,7 +61,9 @@ def build_system(
         if any(not 0 <= o < cfg.n_servers for o in owner_list):
             raise ValueError("owner ids out of range")
 
-    engine = engine or Engine()
+    # the profile module hands out ProfiledEngines when profiling is
+    # enabled (python -m repro profile ...), plain Engines otherwise
+    engine = engine or make_engine()
     system = System(ns, cfg, engine, owner_list, stats=stats)
 
     # shared Bloom geometry for all digests: capacity sized to the

@@ -20,6 +20,7 @@ from repro.net.transport import Transport
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsSink, SystemStats
+from repro.sim.timerwheel import TimerWheel
 
 __all__ = ["System", "SystemStats"]
 
@@ -36,6 +37,7 @@ class System:
         "cfg",
         "engine",
         "transport",
+        "timers",
         "stats",
         "rng_streams",
         "peers",
@@ -60,6 +62,8 @@ class System:
             engine, cfg.net_delay, net_jitter=cfg.net_jitter,
             jitter_seed=cfg.seed,
         )
+        # cancel-heavy timers (client lookup timeouts) stay off the heap
+        self.timers = TimerWheel(engine)
         self.stats = stats if stats is not None else SystemStats(ns.max_depth)
         self.rng_streams = RngStreams(cfg.seed)
         self.peers: List = []

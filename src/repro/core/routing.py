@@ -85,7 +85,10 @@ def closest_hosted(peer, dest: int) -> Tuple[int, int]:
     d_dest = depth[dest]
     best = -1
     best_d = 1 << 30
-    for h in peer.iter_hosted():
+    # the store's hosted list, iterated directly: same order as
+    # iter_hosted() (owned first, then replicas) without the generator
+    # hop -- this loop runs once per processed query
+    for h in peer.store.hosted_list:
         a_h = anc[h]
         # inline prefix scan for lca depth
         n = len(a_h)

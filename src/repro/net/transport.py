@@ -4,12 +4,34 @@ The paper's methodology fixes the application-layer network time at a
 constant per hop and explicitly does not model network contention; the
 transport therefore only delays delivery by ``net_delay`` and invokes
 the destination server's handler.
+
+Delivery ring (the constant-delay fast path)
+--------------------------------------------
+With a constant delay ``d`` every message sent at engine time ``t``
+delivers at ``t + d``, and sends only happen while the engine clock is
+non-decreasing -- so delivery times are non-decreasing and FIFO send
+order *is* delivery-time order.  Instead of one heap entry per
+in-flight message the transport keeps a plain FIFO ring of
+``(deliver_at, dest, msg)`` and at most **one** scheduled engine event
+(the drain for the ring head).  The drain delivers every head entry due
+at its timestamp, then re-arms itself for the new head.  This keeps the
+engine heap small no matter how many messages are in flight, and
+preserves determinism: entries sharing a delivery time fire in send
+order, exactly as their per-message heap entries would have (``seq``
+tie-breaking).  Handlers may send during a drain; the new entries land
+at ``now + d``, strictly later than the batch being drained, so the
+ring stays time-ordered.
+
+The per-message heap path remains and is used whenever it must be:
+with ``net_jitter > 0`` delivery times are not monotone, and with
+``net_delay == 0`` a drain could chase same-timestamp sends forever.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.sim.engine import Engine
 from repro.sim.rng import exponential
@@ -36,6 +58,9 @@ class Transport:
         "n_sent",
         "n_control_sent",
         "n_lost",
+        "_ring",
+        "_ring_enabled",
+        "_drain_armed",
     )
 
     def __init__(self, engine: Engine, net_delay: float,
@@ -50,10 +75,13 @@ class Transport:
         self._jitter_rng = random.Random(jitter_seed ^ 0x31AB5)
         self._endpoints: Dict[int, Callable[[Any], None]] = {}
         self.failed: set = set()
-        self.on_lost: Callable[[int, Any], None] = None  # type: ignore
+        self.on_lost: Optional[Callable[[int, Any], None]] = None
         self.n_sent = 0
         self.n_control_sent = 0
         self.n_lost = 0
+        self._ring: Deque[Tuple[float, int, Any]] = deque()
+        self._ring_enabled = net_jitter == 0.0 and net_delay > 0.0
+        self._drain_armed = False
 
     def register(self, server_id: int, handler: Callable[[Any], None]) -> None:
         """Register a server's delivery handler."""
@@ -69,8 +97,7 @@ class Transport:
                 separately to validate the paper's claim that control
                 traffic is >=100x rarer than queries).
         """
-        handler = self._endpoints.get(dest)
-        if handler is None:
+        if dest not in self._endpoints:
             raise KeyError(f"no server registered with id {dest}")
         if dest in self.failed:
             self._lose(dest, msg)
@@ -79,10 +106,35 @@ class Transport:
             self.n_control_sent += 1
         else:
             self.n_sent += 1
+        engine = self.engine
+        if self._ring_enabled:
+            at = engine.now + self.net_delay
+            self._ring.append((at, dest, msg))
+            if not self._drain_armed:
+                self._drain_armed = True
+                engine.schedule(at, self._drain)
+            return
         delay = self.net_delay
         if self.net_jitter > 0:
             delay += exponential(self._jitter_rng, self.net_jitter)
-        self.engine.schedule_after(delay, self._deliver, dest, msg)
+        engine.schedule_after(delay, self._deliver, dest, msg)
+
+    def _drain(self) -> None:
+        """Deliver every ring entry due now, then re-arm for the head."""
+        ring = self._ring
+        now = self.engine.now
+        failed = self.failed
+        endpoints = self._endpoints
+        while ring and ring[0][0] <= now:
+            _, dest, msg = ring.popleft()
+            if dest in failed:
+                self._lose(dest, msg)
+            else:
+                endpoints[dest](msg)
+        if ring:
+            self.engine.schedule(ring[0][0], self._drain)
+        else:
+            self._drain_armed = False
 
     def _deliver(self, dest: int, msg: Any) -> None:
         if dest in self.failed:
@@ -94,6 +146,15 @@ class Transport:
         self.n_lost += 1
         if self.on_lost is not None:
             self.on_lost(dest, msg)
+
+    @property
+    def n_in_flight(self) -> int:
+        """Messages accepted but not yet delivered on the ring path.
+
+        Always 0 on the heap fallback path (jitter or zero delay),
+        where in-flight messages live on the engine heap instead.
+        """
+        return len(self._ring)
 
     def fail_server(self, server_id: int) -> None:
         """Fail-stop ``server_id``: all traffic to it is lost."""

@@ -115,6 +115,8 @@ class Peer:
         "service_mean",
         "rfact",
         "_handlers",
+        "_record_injected",
+        "_record_drop",
     )
 
     #: the dispatch registry bound per instance; class attribute so
@@ -129,6 +131,11 @@ class Peer:
         self.ns = system.ns
         self.rng = system.rng_streams.stream(f"peer-{sid}")
         self.stats = system.stats
+        # sink hooks for the per-query fast path, bound once: swapping
+        # sinks is a construction-time decision, and one cached callable
+        # per recording beats an attribute chain per processed event
+        self._record_injected = self.stats.record_injected
+        self._record_drop = self.stats.record_drop
         self.owned = set(owned)
         self.maps: Dict[int, List[int]] = {}
         self.pin_refs: Dict[int, int] = {}
@@ -409,7 +416,7 @@ class Peer:
     def inject(self, dest: int, qid: int) -> None:
         """A client initiates a lookup for ``dest`` at this server."""
         now = self.sys.engine.now
-        self.stats.record_injected(now)
+        self._record_injected(now)
         msg = QueryMessage(qid, dest, self.sid, now)
         msg.via = -1
         self._enqueue_query(msg)
@@ -420,7 +427,7 @@ class Peer:
             self._start_service(msg)
             return
         if not ingress.offer(msg):
-            self.stats.record_drop(self.sys.engine.now, reason="queue")
+            self._record_drop(self.sys.engine.now, reason="queue")
 
     def _start_service(self, msg: QueryMessage) -> None:
         self.ingress.in_service = True

@@ -29,10 +29,17 @@ from repro.net.message import (
 class RoutingCore:
     """Decision + forward logic, stateless apart from the peer reference."""
 
-    __slots__ = ("peer",)
+    __slots__ = ("peer", "_record_drop", "_record_forward",
+                 "_record_stale_hop", "_record_completion")
 
     def __init__(self, peer) -> None:
         self.peer = peer
+        # per-query sink hooks, bound once (see Peer.__init__)
+        stats = peer.stats
+        self._record_drop = stats.record_drop
+        self._record_forward = stats.record_forward
+        self._record_stale_hop = stats.record_stale_hop
+        self._record_completion = stats.record_completion
 
     # ------------------------------------------------------------------
     # query processing
@@ -43,7 +50,6 @@ class RoutingCore:
         peer = self.peer
         now = peer.sys.engine.now
         sid = peer.sid
-        stats = peer.stats
         store = peer.store
 
         # -- absorb piggybacked soft state --------------------------------
@@ -57,7 +63,7 @@ class RoutingCore:
                 store.touch(via, now)
             else:
                 m.stale_hops += 1
-                stats.record_stale_hop(now)
+                self._record_stale_hop(now)
 
         # -- merge the in-flight destination map into kept state ----------
         if m.dest_map:
@@ -69,13 +75,13 @@ class RoutingCore:
             self.resolve(m, now)
             return
         if decision.action is routing.RouteAction.FAIL:
-            stats.record_drop(now, reason="routing")
+            self._record_drop(now, reason="routing")
             return
         m.hops += 1
         if m.hops > peer.cfg.max_hops:
-            stats.record_drop(now, reason="ttl")
+            self._record_drop(now, reason="ttl")
             return
-        stats.record_forward(decision.source)
+        self._record_forward(decision.source)
 
         # back-propagate fresh replica info for the node we served
         if (
@@ -144,7 +150,7 @@ class RoutingCore:
         now = peer.sys.engine.now
         peer.absorber.absorb_response(r, now)
         latency = now - r.created_at
-        peer.stats.record_completion(now, latency, r.hops, r.stale_hops)
+        self._record_completion(now, latency, r.hops, r.stale_hops)
         hook = peer.client_hooks.pop(("lookup", r.qid), None)
         if hook is not None:
             hook(r)

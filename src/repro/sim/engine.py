@@ -58,6 +58,11 @@ class Engine:
     def __len__(self) -> int:
         return len(self._heap)
 
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (cancelled ones included)."""
+        return len(self._heap)
+
     def __repr__(self) -> str:
         return (
             f"Engine(now={self.now:.6f}, pending={len(self._heap)}, "
@@ -121,8 +126,6 @@ class Engine:
                 dispatched += 1
                 if max_events and dispatched >= max_events:
                     break
-            else:
-                pass
             if until != float("inf") and self.now < until and not (
                 max_events and dispatched >= max_events
             ):

@@ -1,0 +1,244 @@
+"""Built-in event-loop profiling: who eats the simulation's time?
+
+:class:`ProfiledEngine` is a drop-in :class:`~repro.sim.engine.Engine`
+whose dispatch loop records, per handler (keyed by the callable's
+qualified name, e.g. ``Peer._finish_service`` or ``Transport._drain``),
+the number of events dispatched and the cumulative wall time spent in
+them -- plus the total wall time of the loop itself, so events/sec and
+the scheduling overhead fall out directly.  Profiling never touches
+simulation semantics: a fixed-seed run behaves bit-identically under
+either engine.
+
+The CLI runs any experiment under profiling and prints the table::
+
+    python -m repro profile fig3
+    REPRO_SCALE=small python -m repro profile fig6 fig9
+
+Experiments are forced to run serially (``REPRO_WORKERS=0``): profiled
+engines must live in this process to be read afterwards.
+
+Programmatic use::
+
+    from repro.sim import profile
+    profile.enable()            # build_system now returns ProfiledEngines
+    ... run something ...
+    print(profile.render_report())
+    profile.disable()
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine, SimError
+
+__all__ = [
+    "ProfiledEngine",
+    "enable",
+    "disable",
+    "reset",
+    "make_engine",
+    "engines",
+    "aggregate",
+    "render_report",
+    "main",
+]
+
+_ACTIVE = False
+_ENGINES: List["ProfiledEngine"] = []
+
+
+class ProfiledEngine(Engine):
+    """An engine that attributes dispatch time to handler classes.
+
+    ``profile`` maps handler qualnames to ``[n_events,
+    cumulative_seconds]``; ``wall_time`` accumulates the total wall
+    time spent inside :meth:`run` (handler time plus heap/loop
+    overhead).
+    """
+
+    __slots__ = ("profile", "wall_time")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.profile: Dict[str, List] = {}
+        self.wall_time = 0.0
+
+    def run(self, until: float = float("inf"), max_events: int = 0) -> None:
+        """Identical semantics to :meth:`Engine.run`, plus timing."""
+        if self._running:
+            raise SimError("engine is not reentrant")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        prof = self.profile
+        clock = time.perf_counter
+        dispatched = 0
+        run_t0 = clock()
+        try:
+            while heap:
+                t = heap[0][0]
+                if t > until:
+                    break
+                _, _, h, fn, args = pop(heap)
+                if h is not None and h.cancelled:
+                    continue
+                self.now = t
+                key = getattr(fn, "__qualname__", None) or repr(fn)
+                t0 = clock()
+                fn(*args)
+                dt = clock() - t0
+                entry = prof.get(key)
+                if entry is None:
+                    prof[key] = [1, dt]
+                else:
+                    entry[0] += 1
+                    entry[1] += dt
+                dispatched += 1
+                if max_events and dispatched >= max_events:
+                    break
+            if until != float("inf") and self.now < until and not (
+                max_events and dispatched >= max_events
+            ):
+                self.now = until
+        finally:
+            self._running = False
+            self.n_dispatched += dispatched
+            self.wall_time += clock() - run_t0
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfiledEngine(now={self.now:.6f}, pending={len(self._heap)}, "
+            f"dispatched={self.n_dispatched}, wall={self.wall_time:.3f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-wide switch (consulted by cluster.builder.build_system)
+# ----------------------------------------------------------------------
+
+def enable() -> None:
+    """Make :func:`make_engine` hand out registered ProfiledEngines."""
+    global _ACTIVE
+    _ACTIVE = True
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = False
+
+
+def reset() -> None:
+    """Forget every engine registered so far (keeps the on/off state)."""
+    _ENGINES.clear()
+
+
+def make_engine() -> Engine:
+    """The builder's engine factory: plain or profiled per the switch."""
+    if not _ACTIVE:
+        return Engine()
+    eng = ProfiledEngine()
+    _ENGINES.append(eng)
+    return eng
+
+
+def engines() -> List[ProfiledEngine]:
+    """Every ProfiledEngine created since the last :func:`reset`."""
+    return list(_ENGINES)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+def aggregate(
+    engs: Optional[List[ProfiledEngine]] = None,
+) -> Tuple[Dict[str, List], int, float]:
+    """Merge profiles: ``(per-handler, total events, total wall s)``."""
+    engs = _ENGINES if engs is None else engs
+    merged: Dict[str, List] = {}
+    n_events = 0
+    wall = 0.0
+    for eng in engs:
+        n_events += eng.n_dispatched
+        wall += eng.wall_time
+        for key, (cnt, sec) in eng.profile.items():
+            entry = merged.get(key)
+            if entry is None:
+                merged[key] = [cnt, sec]
+            else:
+                entry[0] += cnt
+                entry[1] += sec
+    return merged, n_events, wall
+
+
+def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
+    """The per-handler table, sorted by cumulative time."""
+    merged, n_events, wall = aggregate(engs)
+    lines = [
+        f"{'handler':<44} {'events':>10} {'cum(s)':>9} "
+        f"{'us/event':>9} {'share':>7}"
+    ]
+    handler_time = sum(sec for _, sec in merged.values())
+    for key, (cnt, sec) in sorted(
+        merged.items(), key=lambda kv: kv[1][1], reverse=True
+    ):
+        share = sec / wall if wall else 0.0
+        lines.append(
+            f"{key:<44} {cnt:>10} {sec:>9.3f} "
+            f"{1e6 * sec / cnt:>9.2f} {share:>6.1%}"
+        )
+    overhead = wall - handler_time
+    lines.append(
+        f"{'(engine loop + heap overhead)':<44} {'':>10} {overhead:>9.3f} "
+        f"{'':>9} {overhead / wall if wall else 0.0:>6.1%}"
+    )
+    rate = n_events / wall if wall else 0.0
+    lines.append(
+        f"total: {n_events:,} events in {wall:.3f}s wall "
+        f"-> {rate:,.0f} events/sec "
+        f"({len(engs if engs is not None else _ENGINES)} engine(s))"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro profile <fig> [...]
+# ----------------------------------------------------------------------
+
+def main(argv: List[str]) -> int:
+    from repro.experiments.common import get_scale
+    from repro.experiments.runner import EXPERIMENTS
+
+    wanted = argv or ["fig3"]
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments {unknown}; choose from {list(EXPERIMENTS)}"
+        )
+    # profiled engines must stay in-process
+    os.environ["REPRO_WORKERS"] = "0"
+    enable()
+    reset()
+    scale = get_scale()
+    print(f"profiling at scale={scale.name} (serial workers)", flush=True)
+    try:
+        for name in wanted:
+            print(f"\n=== {name} ===")
+            t0 = time.time()
+            EXPERIMENTS[name](scale)
+            print(f"  [{time.time() - t0:.1f}s]")
+        print("\n--- event-loop profile ---")
+        print(render_report())
+    finally:
+        disable()
+        reset()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main(sys.argv[1:]))

@@ -43,6 +43,12 @@ class TimeSeries:
     ``add(t, x)`` accumulates ``x`` into the bin containing ``t``;
     ``observe(t, x)`` additionally tracks per-bin count/max so means and
     maxima can be reported.
+
+    Storage is a dense list indexed by bin (simulation time marches
+    forward, so bins fill contiguously from zero): the hottest
+    recording path is one index computation plus one in-place list
+    update, instead of the three dict probes the previous dict-of-bins
+    layout paid per event.
     """
 
     __slots__ = ("bin_width", "_sum", "_cnt", "_max")
@@ -51,52 +57,66 @@ class TimeSeries:
         if bin_width <= 0:
             raise ValueError("bin_width must be > 0")
         self.bin_width = bin_width
-        self._sum: Dict[int, float] = {}
-        self._cnt: Dict[int, int] = {}
-        self._max: Dict[int, float] = {}
+        self._sum: List[float] = []
+        self._cnt: List[int] = []
+        self._max: List[float] = []
 
     def _bin(self, t: float) -> int:
         return int(t / self.bin_width)
 
+    def _grow(self, b: int) -> None:
+        n = b + 1 - len(self._sum)
+        self._sum.extend([0.0] * n)
+        self._cnt.extend([0] * n)
+        self._max.extend([0.0] * n)
+
     def add(self, t: float, x: float = 1.0) -> None:
         """Accumulate ``x`` into ``t``'s bin (rate-style metric)."""
-        b = self._bin(t)
-        self._sum[b] = self._sum.get(b, 0.0) + x
+        b = int(t / self.bin_width)
+        if b >= len(self._sum):
+            self._grow(b)
+        self._sum[b] += x
 
     def observe(self, t: float, x: float) -> None:
         """Record a sampled value (tracks sum, count and max per bin)."""
-        b = self._bin(t)
-        self._sum[b] = self._sum.get(b, 0.0) + x
-        self._cnt[b] = self._cnt.get(b, 0) + 1
-        m = self._max.get(b)
-        if m is None or x > m:
+        b = int(t / self.bin_width)
+        if b >= len(self._sum):
+            self._grow(b)
+        self._sum[b] += x
+        cnt = self._cnt
+        if cnt[b]:
+            if x > self._max[b]:
+                self._max[b] = x
+        else:
             self._max[b] = x
+        cnt[b] += 1
 
     @property
     def n_bins(self) -> int:
-        return (max(self._sum) + 1) if self._sum else 0
+        return len(self._sum)
 
     def totals(self, n_bins: Optional[int] = None) -> List[float]:
         """Per-bin sums as a dense list of length ``n_bins``."""
         n = self.n_bins if n_bins is None else n_bins
-        return [self._sum.get(b, 0.0) for b in range(n)]
+        s = self._sum
+        return [s[b] if b < len(s) else 0.0 for b in range(n)]
 
     def means(self, n_bins: Optional[int] = None) -> List[float]:
         """Per-bin means (0 where the bin has no observations)."""
         n = self.n_bins if n_bins is None else n_bins
-        out = []
-        for b in range(n):
-            c = self._cnt.get(b, 0)
-            out.append(self._sum.get(b, 0.0) / c if c else 0.0)
-        return out
+        s, c = self._sum, self._cnt
+        return [
+            s[b] / c[b] if b < len(c) and c[b] else 0.0 for b in range(n)
+        ]
 
     def maxima(self, n_bins: Optional[int] = None) -> List[float]:
         """Per-bin maxima (0 where the bin has no observations)."""
         n = self.n_bins if n_bins is None else n_bins
-        return [self._max.get(b, 0.0) for b in range(n)]
+        m, c = self._max, self._cnt
+        return [m[b] if b < len(c) and c[b] else 0.0 for b in range(n)]
 
     def total(self) -> float:
-        return sum(self._sum.values())
+        return sum(self._sum)
 
 
 class WindowAverager:

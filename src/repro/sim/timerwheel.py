@@ -1,0 +1,146 @@
+"""A coarse timer-wheel for cancel-heavy timeouts.
+
+The client arms one lookup timeout per issued lookup and cancels it
+when the response arrives -- which is almost always.  Routing those
+timeouts through :meth:`Engine.schedule` leaves one lazily-cancelled
+heap entry per *completed* lookup for the full timeout duration
+(millions of dead entries at paper scale), inflating every heap
+operation's ``log n``.
+
+The wheel instead buckets timers by coarse tick
+(``bucket = floor(deadline / tick)``).  Each non-empty bucket costs the
+engine exactly **one** event, scheduled at the bucket's start;
+cancellation removes the timer from its bucket dict immediately, so
+cancelled timers free their memory and never touch the heap at all.
+
+Exactness is preserved: when a bucket fires, every timer still armed is
+*promoted* to a real engine event at its exact deadline (with a
+cancellation handle, so late cancels still work).  A timer therefore
+fires at precisely ``now + delay`` -- never rounded to a tick boundary
+-- and a fixed-seed run behaves bit-identically to the per-timer heap
+pattern it replaces.  Only timers that survive into the last tick
+before their deadline ever reach the heap, and those are the rare ones
+that are actually about to fire.
+
+Pending-event bound: the engine carries at most one event per distinct
+non-empty bucket (``horizon / tick``) plus the promoted timers of the
+current tick -- independent of how many timers were armed and
+cancelled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.engine import Engine, EventHandle, SimError
+
+
+class TimerHandle:
+    """Cancellation handle for one armed timer."""
+
+    __slots__ = ("_wheel", "_bucket", "_token", "_promoted", "cancelled")
+
+    def __init__(self, wheel: "TimerWheel", bucket: int, token: int) -> None:
+        self._wheel = wheel
+        self._bucket = bucket
+        self._token = token
+        self._promoted: Optional[EventHandle] = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent; safe after it has fired)."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._wheel.n_cancelled += 1
+        if self._promoted is not None:
+            self._promoted.cancel()
+            return
+        bucket = self._wheel._buckets.get(self._bucket)
+        if bucket is not None:
+            bucket.pop(self._token, None)
+
+    def __repr__(self) -> str:
+        state = ("cancelled" if self.cancelled
+                 else "promoted" if self._promoted is not None
+                 else "armed")
+        return f"TimerHandle({state})"
+
+
+class TimerWheel:
+    """Coarse-bucketed timers over a shared :class:`Engine`."""
+
+    __slots__ = ("engine", "tick", "_buckets", "_token", "n_armed",
+                 "n_cancelled", "n_fired")
+
+    def __init__(self, engine: Engine, tick: float = 1.0) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be > 0")
+        self.engine = engine
+        self.tick = tick
+        # bucket index -> {token: (deadline, fn, args, handle)}; dicts
+        # preserve insertion order, which is arming order within a bucket
+        self._buckets: Dict[
+            int, Dict[int, Tuple[float, Callable, tuple, TimerHandle]]
+        ] = {}
+        self._token = 0
+        self.n_armed = 0
+        self.n_cancelled = 0
+        self.n_fired = 0  # released by their bucket (inline or promoted)
+
+    def __len__(self) -> int:
+        """Timers currently armed (excluding promoted ones)."""
+        return sum(len(b) for b in self._buckets.values())
+
+    @property
+    def n_buckets(self) -> int:
+        """Non-empty buckets, each owning exactly one engine event."""
+        return len(self._buckets)
+
+    def schedule_after(
+        self, delay: float, fn: Callable, *args: Any
+    ) -> TimerHandle:
+        """Arm ``fn(*args)`` to fire exactly ``delay`` from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        engine = self.engine
+        deadline = engine.now + delay
+        idx = int(deadline / self.tick)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            bucket = self._buckets[idx] = {}
+            # the bucket event must not precede ``now`` (possible when
+            # ``delay < tick``) nor follow any deadline it covers
+            at = idx * self.tick
+            if at < engine.now:
+                at = engine.now
+            engine.schedule(at, self._fire_bucket, idx)
+        self._token += 1
+        handle = TimerHandle(self, idx, self._token)
+        bucket[self._token] = (deadline, fn, args, handle)
+        self.n_armed += 1
+        return handle
+
+    def _fire_bucket(self, idx: int) -> None:
+        """Promote every survivor to an exact-deadline engine event."""
+        bucket = self._buckets.pop(idx, None)
+        if not bucket:
+            return
+        engine = self.engine
+        now = engine.now
+        for deadline, fn, args, handle in bucket.values():
+            self.n_fired += 1
+            if deadline <= now:
+                # deadline exactly on the bucket boundary: fire inline,
+                # the engine clock is already there
+                fn(*args)
+            else:
+                handle._promoted = engine.schedule(
+                    deadline, fn, *args, handle=True
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"TimerWheel(tick={self.tick}, armed={len(self)}, "
+            f"buckets={self.n_buckets})"
+        )

@@ -83,6 +83,41 @@ class TestRunControl:
         eng.run()
         assert eng.n_dispatched == 4
 
+    def test_until_with_max_events_stop_keeps_clock_at_last_event(self):
+        """When max_events stops the run first, the clock must stay at
+        the last dispatched event -- not jump forward to ``until``."""
+        eng = Engine()
+        for i in range(10):
+            eng.schedule(float(i), lambda: None)
+        eng.run(until=100.0, max_events=3)
+        assert eng.now == 2.0
+        # resuming picks up exactly where it stopped
+        eng.run(until=100.0)
+        assert eng.now == 100.0
+        assert eng.n_dispatched == 10
+
+    def test_until_with_max_events_until_wins(self):
+        """When ``until`` is hit before the event budget, the clock does
+        advance to ``until`` as usual."""
+        eng = Engine()
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(50.0, lambda: None)
+        eng.run(until=10.0, max_events=99)
+        assert eng.now == 10.0
+
+    def test_max_events_exactly_exhausts_heap(self):
+        """Edge: the budget runs out on the final event.  The stop is
+        still attributed to ``max_events``, so the clock conservatively
+        stays at the last dispatched event (events scheduled *by* that
+        last handler could still be due before ``until``)."""
+        eng = Engine()
+        for i in range(3):
+            eng.schedule(float(i), lambda: None)
+        eng.run(until=10.0, max_events=3)
+        assert eng.now == 2.0
+        eng.run(until=10.0)
+        assert eng.now == 10.0
+
     def test_not_reentrant(self):
         eng = Engine()
 
@@ -92,6 +127,29 @@ class TestRunControl:
         eng.schedule(1.0, reenter)
         with pytest.raises(SimError):
             eng.run()
+
+
+class TestPending:
+    def test_pending_tracks_heap_size(self):
+        eng = Engine()
+        assert eng.pending == 0
+        eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        assert eng.pending == 2
+        eng.run(until=1.5)
+        assert eng.pending == 1
+        eng.run()
+        assert eng.pending == 0
+
+    def test_pending_counts_cancelled_entries(self):
+        """``pending`` is a heap-hygiene gauge: lazily-cancelled events
+        still occupy heap slots and must show up in it."""
+        eng = Engine()
+        for _ in range(5):
+            eng.schedule(1.0, lambda: None, handle=True).cancel()
+        assert eng.pending == 5
+        eng.run()
+        assert eng.pending == 0
 
 
 class TestCancellation:

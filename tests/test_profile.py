@@ -1,0 +1,150 @@
+"""Unit tests for the event-loop profiling layer and the bench gate."""
+
+import json
+
+import pytest
+
+from repro.sim import profile
+from repro.sim.engine import Engine, SimError
+from repro.sim.profile import ProfiledEngine
+
+
+class _Handler:
+    def __init__(self, log):
+        self.log = log
+
+    def hit(self, tag):
+        self.log.append(tag)
+
+
+class TestProfiledEngine:
+    def test_same_semantics_as_plain_engine(self):
+        """A fixed schedule runs identically under both engines."""
+        def drive(eng):
+            order = []
+            h = eng.schedule(1.0, order.append, "cancelled", handle=True)
+            h.cancel()
+            for tag in "ab":
+                eng.schedule(2.0, order.append, tag)
+            eng.schedule(0.5, order.append, "first")
+            eng.run(until=1.5)
+            clock_mid = eng.now
+            eng.run(max_events=1)
+            eng.run()
+            return order, clock_mid, eng.now, eng.n_dispatched
+
+        assert drive(Engine()) == drive(ProfiledEngine())
+
+    def test_not_reentrant(self):
+        eng = ProfiledEngine()
+        eng.schedule(1.0, eng.run)
+        with pytest.raises(SimError):
+            eng.run()
+
+    def test_collects_per_handler_counts_and_time(self):
+        eng = ProfiledEngine()
+        log = []
+        handler = _Handler(log)
+        for i in range(3):
+            eng.schedule(float(i), handler.hit, i)
+        eng.schedule(5.0, log.append, "lambda-free")
+        eng.run()
+        key = _Handler.hit.__qualname__
+        assert key in eng.profile
+        count, seconds = eng.profile[key]
+        assert count == 3
+        assert seconds >= 0.0
+        assert eng.wall_time > 0.0
+        assert eng.n_dispatched == 4
+
+    def test_cancelled_events_not_attributed(self):
+        eng = ProfiledEngine()
+        log = []
+        handler = _Handler(log)
+        eng.schedule(1.0, handler.hit, "x", handle=True).cancel()
+        eng.run()
+        assert _Handler.hit.__qualname__ not in eng.profile
+
+
+class TestSwitch:
+    def test_make_engine_respects_switch(self):
+        profile.reset()
+        assert type(profile.make_engine()) is Engine
+        profile.enable()
+        try:
+            eng = profile.make_engine()
+            assert isinstance(eng, ProfiledEngine)
+            assert eng in profile.engines()
+        finally:
+            profile.disable()
+            profile.reset()
+        assert type(profile.make_engine()) is Engine
+        assert profile.engines() == []
+
+    def test_build_system_picks_up_profiling(self):
+        from repro.cluster.builder import build_system
+        from repro.cluster.config import SystemConfig
+        from repro.namespace.generators import balanced_tree
+
+        ns = balanced_tree(levels=4)
+        cfg = SystemConfig.replicated(n_servers=2, seed=1)
+        profile.enable()
+        profile.reset()
+        try:
+            system = build_system(ns, cfg)
+            assert isinstance(system.engine, ProfiledEngine)
+        finally:
+            profile.disable()
+            profile.reset()
+
+
+class TestReport:
+    def test_aggregate_and_render(self):
+        e1, e2 = ProfiledEngine(), ProfiledEngine()
+        log = []
+        handler = _Handler(log)
+        for eng in (e1, e2):
+            for i in range(2):
+                eng.schedule(float(i), handler.hit, i)
+            eng.run()
+        merged, n_events, wall = profile.aggregate([e1, e2])
+        assert merged[_Handler.hit.__qualname__][0] == 4
+        assert n_events == 4
+        assert wall > 0.0
+        report = profile.render_report([e1, e2])
+        assert "_Handler.hit" in report
+        assert "events/sec" in report
+        assert "overhead" in report
+
+    def test_render_report_empty(self):
+        assert "0 events" in profile.render_report([])
+
+
+class TestBenchGate:
+    def _write_baseline(self, tmp_path, rate):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"after": {"transport_chain": {"events_per_sec": rate}}}))
+        return str(path)
+
+    def test_check_passes_within_tolerance(self, tmp_path):
+        from repro.experiments.bench_micro import check_regression
+
+        results = {"transport_chain": {"events_per_sec": 90.0}}
+        baseline = self._write_baseline(tmp_path, 100.0)
+        assert check_regression(results, baseline, tolerance=0.20) == []
+
+    def test_check_fails_beyond_tolerance(self, tmp_path):
+        from repro.experiments.bench_micro import check_regression
+
+        results = {"transport_chain": {"events_per_sec": 70.0}}
+        baseline = self._write_baseline(tmp_path, 100.0)
+        failures = check_regression(results, baseline, tolerance=0.20)
+        assert len(failures) == 1
+        assert "transport_chain" in failures[0]
+
+    def test_check_ignores_scenarios_missing_on_either_side(self, tmp_path):
+        from repro.experiments.bench_micro import check_regression
+
+        baseline = self._write_baseline(tmp_path, 100.0)
+        assert check_regression({}, baseline, tolerance=0.20) == []

@@ -52,6 +52,37 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             TimeSeries(bin_width=0.0)
 
+    def test_sparse_gap_bins_read_as_empty(self):
+        """The dense-list backing must report untouched interior bins
+        as zero-total, zero-mean, zero-max."""
+        ts = TimeSeries()
+        ts.add(0.5, 1.0)
+        ts.add(100.5, 2.0)
+        totals = ts.totals()
+        assert len(totals) == 101
+        assert totals[0] == 1.0 and totals[100] == 2.0
+        assert all(t == 0.0 for t in totals[1:100])
+        assert ts.means()[50] == 0.0
+
+    def test_out_of_order_observations(self):
+        """Growing the arrays forward must not lose earlier bins."""
+        ts = TimeSeries()
+        ts.observe(5.5, 4.0)
+        ts.observe(1.5, 2.0)
+        ts.observe(1.6, 6.0)
+        assert ts.means()[1] == 4.0
+        assert ts.maxima()[1] == 6.0
+        assert ts.maxima()[5] == 4.0
+
+    def test_negative_values_max_is_true_max(self):
+        """A bin of all-negative observations must report the largest
+        (least negative) value, not a sticky 0.0 sentinel."""
+        ts = TimeSeries()
+        ts.observe(0.1, -5.0)
+        ts.observe(0.2, -2.0)
+        assert ts.maxima() == [-2.0]
+        assert ts.means() == [-3.5]
+
 
 class TestWindowAverager:
     def test_window_one_is_identity(self):

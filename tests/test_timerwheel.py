@@ -1,0 +1,152 @@
+"""Unit tests for the coarse timer-wheel (cancel-heavy timeouts)."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimError
+from repro.sim.timerwheel import TimerWheel
+
+
+class TestFiring:
+    def test_fires_at_exact_deadline(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        wheel.schedule_after(2.37, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [2.37]
+
+    def test_fire_order_matches_deadline_order_across_buckets(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        for d in (3.5, 0.25, 2.1, 0.75):
+            wheel.schedule_after(d, fired.append, d)
+        eng.run()
+        assert fired == [0.25, 0.75, 2.1, 3.5]
+
+    def test_same_deadline_fires_in_arming_order(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        for tag in "abc":
+            wheel.schedule_after(1.5, fired.append, tag)
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_deadline_on_bucket_boundary(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        wheel.schedule_after(2.0, lambda: fired.append(eng.now))
+        eng.run()
+        assert fired == [2.0]
+
+    def test_delay_shorter_than_tick(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        eng.schedule(0.9, lambda: wheel.schedule_after(
+            0.05, lambda: fired.append(eng.now)))
+        eng.run()
+        assert fired == [pytest.approx(0.95)]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        with pytest.raises(SimError):
+            wheel.schedule_after(-0.1, lambda: None)
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(ValueError):
+            TimerWheel(Engine(), tick=0.0)
+
+
+class TestCancellation:
+    def test_cancel_before_bucket_fires(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        h = wheel.schedule_after(5.5, fired.append, "x")
+        h.cancel()
+        eng.run()
+        assert fired == []
+        assert h.cancelled
+
+    def test_cancel_after_promotion(self):
+        """A timer promoted to the heap can still be cancelled."""
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        fired = []
+        h = wheel.schedule_after(1.7, fired.append, "x")
+        # between the bucket event (t=1.0) and the deadline (t=1.7)
+        eng.schedule(1.3, h.cancel)
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        h = wheel.schedule_after(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        eng.run()
+        assert wheel.n_cancelled == 1
+
+
+class TestHeapHygiene:
+    def test_cancelled_timers_leave_no_heap_entries(self):
+        """The motivating property: repeated arm/cancel cycles must not
+        accumulate dead heap entries the way lazily-cancelled
+        EventHandles do (one per completed lookup at paper scale)."""
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        for _ in range(10_000):
+            wheel.schedule_after(10.0, lambda: None).cancel()
+        # one bucket event at most; never 10k dead entries
+        assert len(wheel) == 0
+        assert eng.pending <= 1
+
+    def test_pending_events_bounded_by_buckets_not_timers(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        handles = [wheel.schedule_after(0.001 * i + 5.0, lambda: None)
+                   for i in range(5_000)]
+        # 5k armed timers spanning 5 distinct seconds -> <= 6 buckets
+        assert len(wheel) == 5_000
+        assert eng.pending <= 6
+        for h in handles:
+            h.cancel()
+        assert len(wheel) == 0
+        eng.run()
+        assert eng.now < 11.0  # only bucket events fired
+
+    def test_interleaved_arm_cancel_under_run(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=0.5)
+        fired = []
+
+        def churn(i):
+            h = wheel.schedule_after(2.0, fired.append, i)
+            if i % 10 != 0:
+                eng.schedule(eng.now + 1.0, h.cancel)
+
+        for i in range(200):
+            eng.schedule(0.01 * i, churn, i)
+        eng.run()
+        assert fired == [i for i in range(200) if i % 10 == 0]
+        assert eng.pending == 0
+
+
+class TestAccounting:
+    def test_counters_and_repr(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=1.0)
+        h1 = wheel.schedule_after(0.5, lambda: None)
+        wheel.schedule_after(0.6, lambda: None)
+        h1.cancel()
+        assert wheel.n_armed == 2
+        assert wheel.n_cancelled == 1
+        assert "TimerWheel" in repr(wheel)
+        assert "armed" in repr(h1) or "cancelled" in repr(h1)
+        eng.run()
+        assert wheel.n_fired == 1

@@ -59,6 +59,114 @@ class TestTransport:
         assert tr.n_servers == 2
 
 
+class TestDeliveryRing:
+    def test_ring_enabled_only_for_constant_positive_delay(self):
+        assert Transport(Engine(), net_delay=0.01)._ring_enabled
+        assert not Transport(Engine(), net_delay=0.0)._ring_enabled
+        assert not Transport(Engine(), net_delay=0.01,
+                             net_jitter=0.005)._ring_enabled
+
+    def test_one_pending_event_for_many_in_flight(self):
+        """The point of the ring: N in-flight messages cost the engine
+        one drain event, not N heap entries."""
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.05)
+        tr.register(0, lambda m: None)
+        for i in range(1000):
+            tr.send(0, i)
+        assert tr.n_in_flight == 1000
+        assert eng.pending == 1
+        eng.run()
+        assert tr.n_in_flight == 0
+        assert eng.pending == 0
+
+    def test_sends_during_drain_deliver_one_delay_later(self):
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.01)
+        got = []
+
+        def relay(m):
+            got.append((round(eng.now, 9), m))
+            if m < 3:
+                tr.send(0, m + 1)
+
+        tr.register(0, relay)
+        tr.send(0, 0)
+        eng.run()
+        assert got == [(0.01, 0), (0.02, 1), (0.03, 2), (0.04, 3)]
+
+    def test_in_flight_loss_at_delivery_time(self):
+        """A server failing while a message is in flight loses it at
+        delivery time on the ring path, same as the heap path."""
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.02)
+        got, lost = [], []
+        tr.register(0, got.append)
+        tr.on_lost = lambda dest, msg: lost.append((dest, msg))
+        tr.send(0, "doomed")
+        eng.schedule(0.01, tr.fail_server, 0)
+        eng.run()
+        assert got == []
+        assert lost == [(0, "doomed")]
+        assert tr.n_lost == 1
+
+    def test_ring_order_matches_heap_path_order(self):
+        """Determinism: with zero jitter the ring path must produce the
+        identical delivery sequence the per-message heap path would.
+        Force the fallback by monkeying the flag, then compare."""
+        def run_trace(force_heap):
+            eng = Engine()
+            tr = Transport(eng, net_delay=0.01)
+            if force_heap:
+                tr._ring_enabled = False
+            trace = []
+
+            def make(sid):
+                def handler(m):
+                    trace.append((round(eng.now, 9), sid, m))
+                    if m > 0:
+                        tr.send((sid + 1) % 3, m - 1)
+                return handler
+
+            for sid in range(3):
+                tr.register(sid, make(sid))
+            # two interleaved chains plus a same-time burst
+            tr.send(0, 5)
+            tr.send(1, 5)
+            for i in range(4):
+                tr.send(2, 0)
+            eng.run()
+            return trace
+
+        assert run_trace(force_heap=False) == run_trace(force_heap=True)
+
+    def test_jitter_path_deterministic_for_fixed_seed(self):
+        """The heap fallback stays seed-deterministic: same seed, same
+        delivery order; different seed, different order."""
+        def run_trace(seed):
+            eng = Engine()
+            tr = Transport(eng, net_delay=0.01, net_jitter=0.02,
+                           jitter_seed=seed)
+            trace = []
+            tr.register(0, lambda m: trace.append((round(eng.now, 12), m)))
+            for i in range(50):
+                tr.send(0, i)
+            eng.run()
+            return trace
+
+        assert run_trace(seed=3) == run_trace(seed=3)
+        assert run_trace(seed=3) != run_trace(seed=4)
+
+    def test_send_to_failed_server_never_enters_ring(self):
+        eng = Engine()
+        tr = Transport(eng, net_delay=0.01)
+        tr.register(0, lambda m: None)
+        tr.fail_server(0)
+        tr.send(0, "x")
+        assert tr.n_in_flight == 0
+        assert tr.n_lost == 1
+
+
 class TestJitter:
     def test_zero_jitter_is_constant(self):
         eng = Engine()

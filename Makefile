@@ -5,6 +5,8 @@
 #   make test         full unit/integration/property suite
 #   make bench        every figure/table benchmark (shape assertions)
 #   make experiments  print every figure's data (REPRO_SCALE=tiny|small|paper)
+#   make campaign     the same experiments as a cached, resumable campaign
+#                     (artifacts in results/; re-runs skip fingerprint hits)
 #   make figures      render every figure as SVG into figures/
 #   make outputs      the canonical test_output.txt / bench_output.txt pair
 #   make profile      run fig3 under the event-loop profiler
@@ -28,6 +30,9 @@ bench:
 experiments:
 	$(PYTHON) -m repro.experiments.runner
 
+campaign:
+	$(PYTHON) -m repro run --out results
+
 figures:
 	$(PYTHON) -m repro.viz.figures --out figures
 
@@ -41,4 +46,4 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install lint test bench experiments figures outputs profile bench-micro
+.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro

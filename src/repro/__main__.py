@@ -1,7 +1,10 @@
-"""``python -m repro`` -- run experiments, or profile them.
+"""``python -m repro`` -- run experiments, campaigns, or profiles.
 
 * ``python -m repro [fig ...]`` -- the experiment suite
   (see :mod:`repro.experiments.runner`);
+* ``python -m repro run [fig ...] [--jobs N] [--resume] [--no-cache]
+  [--out DIR]`` -- the same experiments as a cached, resumable campaign
+  writing per-run artifacts (see :mod:`repro.experiments.campaign`);
 * ``python -m repro profile <fig> [...]`` -- the same experiments under
   the event-loop profiler (see :mod:`repro.sim.profile`);
 * ``python -m repro bench-micro [--out F] [--check BASELINE]`` -- the
@@ -12,6 +15,10 @@ import sys
 
 
 def main(argv) -> int:
+    if argv and argv[0] == "run":
+        from repro.experiments.campaign import main as campaign_main
+
+        return campaign_main(argv[1:])
     if argv and argv[0] == "profile":
         from repro.sim.profile import main as profile_main
 

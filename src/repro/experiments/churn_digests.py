@@ -15,18 +15,19 @@ landing on a server that no longer hosts the node it was selected for.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.summary import run_summary
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.workload.streams import cuzipf_stream
 
 RFACTS = (0.125, 0.25, 0.5)
@@ -46,13 +47,54 @@ def churn_cell(scale, spec, rfact: float, mode: str, seed: int) -> tuple:
     return rfact, mode, run_summary(system)
 
 
+def churn_specs(
+    scale: Scale,
+    seed: int = 0,
+    rfacts=RFACTS,
+    modes=MODES,
+    utilization: float = 0.4,
+    alpha: float = 1.5,
+) -> List[RunSpec]:
+    """Declare the churn study's run list: one spec per (rfact, mode)."""
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    stream = cuzipf_stream(
+        rate, alpha, warmup=scale.warmup, phase=scale.phase,
+        n_phases=scale.n_phases, seed=seed,
+    )
+    return [
+        RunSpec(
+            experiment="churn",
+            task=f"rfact{rfact:g}:{mode}",
+            fn="repro.experiments.churn_digests:churn_cell",
+            params=dict(scale=scale, spec=stream, rfact=rfact, mode=mode,
+                        seed=seed),
+        )
+        for rfact in rfacts
+        for mode in modes
+    ]
+
+
+def assemble_churn(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[float, Dict[str, Dict[str, float]]]:
+    """Rebuild ``{rfact: {mode: summary}}`` from run payloads."""
+    results: Dict[float, Dict[str, Dict[str, float]]] = {
+        r: {} for r in dict.fromkeys(s.params["rfact"] for s in specs)
+    }
+    for rfact, mode, summary in payloads:
+        results[rfact][mode] = summary
+    return results
+
+
 def run_churn(
     scale: Optional[Scale] = None,
     rfacts=RFACTS,
     modes=MODES,
     utilization: float = 0.4,
     alpha: float = 1.5,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Dict[float, Dict[str, Dict[str, float]]]:
     """Reproduce the section 4.4 churn study.
 
@@ -61,24 +103,28 @@ def run_churn(
         ``stale_hop_rate`` and ``drop_fraction``.
     """
     scale = scale or get_scale()
-    rate = rate_for_utilization(
-        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
-    )
-    spec = cuzipf_stream(
-        rate, alpha, warmup=scale.warmup, phase=scale.phase,
-        n_phases=scale.n_phases, seed=seed,
-    )
-    tasks = [
-        dict(scale=scale, spec=spec, rfact=rfact, mode=mode, seed=seed)
-        for rfact in rfacts
-        for mode in modes
-    ]
-    results: Dict[float, Dict[str, Dict[str, float]]] = {
-        r: {} for r in rfacts
-    }
-    for rfact, mode, summary in parallel_map(churn_cell, tasks):
-        results[rfact][mode] = summary
-    return results
+    specs = churn_specs(scale, seed=get_seed(seed), rfacts=rfacts,
+                        modes=modes, utilization=utilization, alpha=alpha)
+    return assemble_churn(specs, execute_specs(specs))
+
+
+def render_churn(results: Dict[float, Dict[str, Dict[str, float]]]) -> None:
+    """The combined-report block (``python -m repro churn``)."""
+    print(f"  {'rfact':>7} " + " ".join(f"{m:>12}" for m in MODES)
+          + "   (stale-hop rate)")
+    for rfact, per_mode in results.items():
+        row = " ".join(f"{per_mode[m]['stale_hop_rate']:12.4f}"
+                       for m in MODES)
+        print(f"  {rfact:>7} {row}")
+
+
+EXPERIMENT = Experiment(
+    name="churn",
+    title="digests vs oracle routing accuracy under replica churn",
+    specs=churn_specs,
+    assemble=assemble_churn,
+    render=render_churn,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -104,6 +104,27 @@ def get_scale(name: Optional[str] = None) -> Scale:
         ) from None
 
 
+def get_seed(seed: Optional[int] = None) -> int:
+    """Resolve the base seed: explicit argument, ``$REPRO_SEED``, or 0.
+
+    Every experiment entry point funnels its ``seed=None`` default
+    through here, so a whole campaign can be re-run under a different
+    base seed (``REPRO_SEED=7 python -m repro run ...``) without
+    touching any call site.
+    """
+    if seed is not None:
+        return seed
+    raw = os.environ.get("REPRO_SEED", "").strip()
+    if not raw:
+        return 0
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SEED must be an integer, got {raw!r}"
+        ) from None
+
+
 def rate_for_utilization(
     util: float,
     n_servers: int,

@@ -11,19 +11,20 @@ the replication protocol adapts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.series import drop_fraction_series
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     ZIPF_ORDERS,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.workload.streams import WorkloadSpec, cuzipf_stream, unif_stream
 
 
@@ -42,33 +43,26 @@ def fig3_stream(
     return spec.name, drop_fraction_series(system, rate, n_bins)
 
 
-def run_fig3(
-    scale: Optional[Scale] = None,
-    utilization: float = 0.4,
+def fig3_specs(
+    scale: Scale,
     seed: int = 0,
+    utilization: float = 0.4,
     preset: str = "BCR",
-) -> Dict[str, List[float]]:
-    """Reproduce Fig. 3's per-second drop-fraction series.
-
-    Returns:
-        Mapping from stream label (``unif``, ``uzipf0.75``...) to the
-        per-second fraction of dropped queries relative to the rate.
-    """
-    scale = scale or get_scale()
+) -> List[RunSpec]:
+    """Declare Fig. 3's run list: one spec per query stream."""
     rate = rate_for_utilization(
         utilization, scale.n_servers, hops_estimate=scale.hops_estimate
     )
     stagger = scale.warmup / 5.0
-    results: Dict[str, List[float]] = {}
     duration = scale.warmup + 4 * stagger + scale.n_phases * scale.phase
 
-    specs: List[WorkloadSpec] = [
+    streams: List[WorkloadSpec] = [
         unif_stream(rate, duration, seed=seed, name="unif")
     ]
     for i, alpha in enumerate(ZIPF_ORDERS):
         # the paper lets the unif prefix "run longer in increments" per
         # Zipf order so the reshuffle spikes of the curves interleave
-        specs.append(
+        streams.append(
             cuzipf_stream(
                 rate,
                 alpha,
@@ -81,14 +75,60 @@ def run_fig3(
         )
 
     n_bins = int(duration) + 1
-    tasks = [
-        dict(scale=scale, spec=spec, rate=rate, n_bins=n_bins,
-             preset=preset, seed=seed)
-        for spec in specs
+    return [
+        RunSpec(
+            experiment="fig3",
+            task=stream.name,
+            fn="repro.experiments.fig3_drops:fig3_stream",
+            params=dict(scale=scale, spec=stream, rate=rate, n_bins=n_bins,
+                        preset=preset, seed=seed),
+        )
+        for stream in streams
     ]
-    for name, series in parallel_map(fig3_stream, tasks):
-        results[name] = series
-    return results
+
+
+def assemble_fig3(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, List[float]]:
+    """Rebuild the ``{stream: series}`` mapping from run payloads."""
+    return {name: series for name, series in payloads}
+
+
+def run_fig3(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    seed: Optional[int] = None,
+    preset: str = "BCR",
+) -> Dict[str, List[float]]:
+    """Reproduce Fig. 3's per-second drop-fraction series.
+
+    Returns:
+        Mapping from stream label (``unif``, ``uzipf0.75``...) to the
+        per-second fraction of dropped queries relative to the rate.
+    """
+    scale = scale or get_scale()
+    specs = fig3_specs(scale, seed=get_seed(seed), utilization=utilization,
+                       preset=preset)
+    return assemble_fig3(specs, execute_specs(specs))
+
+
+def render_fig3(results: Dict[str, List[float]]) -> None:
+    """The combined-report block (``python -m repro fig3``)."""
+    from repro.experiments.report import sparkline
+
+    print("series (drop fraction per second, vs rate):")
+    for name, series in results.items():
+        print(f"  {name:>10} {sparkline(series)}  "
+              f"(mean {sum(series) / len(series):.4f})")
+
+
+EXPERIMENT = Experiment(
+    name="fig3",
+    title="fraction of queries dropped every second over time (N_S)",
+    specs=fig3_specs,
+    assemble=assemble_fig3,
+    render=render_fig3,
+)
 
 
 def reshuffle_times(scale: Scale, alpha_index: int) -> List[float]:

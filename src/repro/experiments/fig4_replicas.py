@@ -8,19 +8,20 @@ reshuffle, decaying as coverage is reached.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.series import replica_fraction_series
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     ZIPF_ORDERS,
     build,
     get_scale,
+    get_seed,
     make_nc,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.workload.streams import WorkloadSpec, cuzipf_stream, unif_stream
 
 
@@ -38,28 +39,22 @@ def fig4_stream(
     return spec.name, replica_fraction_series(system, rate, n_bins)
 
 
-def run_fig4(
-    scale: Optional[Scale] = None,
-    utilization: float = 0.4,
+def fig4_specs(
+    scale: Scale,
     seed: int = 0,
-) -> Dict[str, List[float]]:
-    """Reproduce Fig. 4's per-second replica-creation series on N_C.
-
-    Returns:
-        Mapping from stream label to replicas created per second
-        relative to the insertion rate.
-    """
-    scale = scale or get_scale()
+    utilization: float = 0.4,
+) -> List[RunSpec]:
+    """Declare Fig. 4's run list: one spec per query stream (on N_C)."""
     rate = rate_for_utilization(
         utilization, scale.n_servers, hops_estimate=scale.hops_estimate
     )
     stagger = scale.warmup / 5.0
     duration = scale.warmup + 4 * stagger + scale.n_phases * scale.phase
-    specs: List[WorkloadSpec] = [
+    streams: List[WorkloadSpec] = [
         unif_stream(rate, duration, seed=seed, name="unif")
     ]
     for i, alpha in enumerate(ZIPF_ORDERS):
-        specs.append(
+        streams.append(
             cuzipf_stream(
                 rate,
                 alpha,
@@ -72,14 +67,58 @@ def run_fig4(
         )
 
     n_bins = int(duration) + 1
-    results: Dict[str, List[float]] = {}
-    tasks = [
-        dict(scale=scale, spec=spec, rate=rate, n_bins=n_bins, seed=seed)
-        for spec in specs
+    return [
+        RunSpec(
+            experiment="fig4",
+            task=stream.name,
+            fn="repro.experiments.fig4_replicas:fig4_stream",
+            params=dict(scale=scale, spec=stream, rate=rate, n_bins=n_bins,
+                        seed=seed),
+        )
+        for stream in streams
     ]
-    for name, series in parallel_map(fig4_stream, tasks):
-        results[name] = series
-    return results
+
+
+def assemble_fig4(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, List[float]]:
+    """Rebuild the ``{stream: series}`` mapping from run payloads."""
+    return {name: series for name, series in payloads}
+
+
+def run_fig4(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    seed: Optional[int] = None,
+) -> Dict[str, List[float]]:
+    """Reproduce Fig. 4's per-second replica-creation series on N_C.
+
+    Returns:
+        Mapping from stream label to replicas created per second
+        relative to the insertion rate.
+    """
+    scale = scale or get_scale()
+    specs = fig4_specs(scale, seed=get_seed(seed), utilization=utilization)
+    return assemble_fig4(specs, execute_specs(specs))
+
+
+def render_fig4(results: Dict[str, List[float]]) -> None:
+    """The combined-report block (``python -m repro fig4``)."""
+    from repro.experiments.report import sparkline
+
+    print("series (replicas created per second, vs rate):")
+    for name, series in results.items():
+        print(f"  {name:>10} {sparkline(series)}  "
+              f"(total {sum(series):.4f})")
+
+
+EXPERIMENT = Experiment(
+    name="fig4",
+    title="replicas created every second over time (N_C)",
+    specs=fig4_specs,
+    assemble=assemble_fig4,
+    render=render_fig4,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -14,21 +14,22 @@ across cores (see :mod:`repro.experiments.parallel`).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.summary import run_summary
 from repro.cluster.config import SystemConfig
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     ZIPF_ORDERS,
     build,
     get_scale,
+    get_seed,
     make_nc,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.workload.streams import cuzipf_stream, unif_stream
 
 PRESETS = ("B", "BC", "BCR")
@@ -70,10 +71,44 @@ def fig5_cell(
     return preset, label, run_summary(system)
 
 
+def fig5_specs(
+    scale: Scale,
+    seed: int = 0,
+    utilization: float = 0.4,
+    presets=PRESETS,
+) -> List[RunSpec]:
+    """Declare Fig. 5's run list: one spec per (preset, stream) cell."""
+    return [
+        RunSpec(
+            experiment="fig5",
+            task=f"{preset}:{label}",
+            fn="repro.experiments.fig5_ablation:fig5_cell",
+            params=dict(
+                scale=scale, preset=preset, label=label, ns_kind=kind,
+                alpha=alpha, utilization=utilization, seed=seed,
+            ),
+        )
+        for preset in presets
+        for (label, kind, alpha) in STREAMS
+    ]
+
+
+def assemble_fig5(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Rebuild ``{preset: {stream: summary}}`` from run payloads."""
+    results: Dict[str, Dict[str, Dict[str, float]]] = {
+        p: {} for p in dict.fromkeys(s.params["preset"] for s in specs)
+    }
+    for preset, label, summary in payloads:
+        results[preset][label] = summary
+    return results
+
+
 def run_fig5(
     scale: Optional[Scale] = None,
     utilization: float = 0.4,
-    seed: int = 0,
+    seed: Optional[int] = None,
     presets=PRESETS,
     workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
@@ -84,20 +119,9 @@ def run_fig5(
         inside are what the paper's bar chart plots.
     """
     scale = scale or get_scale()
-    tasks = [
-        dict(
-            scale=scale, preset=preset, label=label, ns_kind=kind,
-            alpha=alpha, utilization=utilization, seed=seed,
-        )
-        for preset in presets
-        for (label, kind, alpha) in STREAMS
-    ]
-    results: Dict[str, Dict[str, Dict[str, float]]] = {
-        p: {} for p in presets
-    }
-    for preset, label, summary in parallel_map(fig5_cell, tasks, workers):
-        results[preset][label] = summary
-    return results
+    specs = fig5_specs(scale, seed=get_seed(seed), utilization=utilization,
+                       presets=presets)
+    return assemble_fig5(specs, execute_specs(specs, workers=workers))
 
 
 def run_fig5_sparse(
@@ -164,6 +188,29 @@ def drop_table(results) -> Dict[str, Dict[str, float]]:
         preset: {s: summ["drop_fraction"] for s, summ in streams.items()}
         for preset, streams in results.items()
     }
+
+
+def render_fig5(results: Dict[str, Dict[str, Dict[str, float]]]) -> None:
+    """The combined-report block (``python -m repro fig5``)."""
+    from repro.experiments.report import format_matrix
+
+    table = drop_table(results)
+    streams = list(next(iter(table.values())).keys())
+    print(format_matrix(
+        row_labels=list(table),
+        col_labels=streams,
+        values=[[table[p][s] for s in streams] for p in table],
+        width=11,
+    ))
+
+
+EXPERIMENT = Experiment(
+    name="fig5",
+    title="dropped queries: base (B) vs +caching (BC) vs +replication (BCR)",
+    specs=fig5_specs,
+    assemble=assemble_fig5,
+    render=render_fig5,
+)
 
 
 def main() -> None:  # pragma: no cover

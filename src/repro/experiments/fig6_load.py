@@ -9,19 +9,20 @@ load balance defined over larger intervals approaches the mean.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.series import load_series
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     UTILIZATION_TARGETS,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.sim.stats import WindowAverager
 from repro.workload.streams import cuzipf_stream
 
@@ -42,11 +43,45 @@ def fig6_point(scale: Scale, util: float, alpha: float, seed: int) -> tuple:
     return util, rate, mean, mx
 
 
+def fig6_specs(
+    scale: Scale,
+    seed: int = 0,
+    utilizations=UTILIZATION_TARGETS,
+    alpha: float = 1.0,
+) -> List[RunSpec]:
+    """Declare Fig. 6's run list: one spec per utilisation target."""
+    return [
+        RunSpec(
+            experiment="fig6",
+            task=f"util{util:g}",
+            fn="repro.experiments.fig6_load:fig6_point",
+            params=dict(scale=scale, util=util, alpha=alpha, seed=seed),
+        )
+        for util in utilizations
+    ]
+
+
+def assemble_fig6(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, Dict[str, List[float]]]:
+    """Rebuild the per-utilisation series (smoothing happens here)."""
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for spec, (util, rate, mean, mx) in zip(specs, payloads):
+        scale: Scale = spec.params["scale"]
+        results[f"util{util:g}"] = {
+            "mean": mean,
+            "max": mx,
+            "smoothed_max": WindowAverager.smooth(mx, scale.smooth_window),
+            "rate": [rate],
+        }
+    return results
+
+
 def run_fig6(
     scale: Optional[Scale] = None,
     utilizations=UTILIZATION_TARGETS,
     alpha: float = 1.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Reproduce Fig. 6.
 
@@ -55,17 +90,28 @@ def run_fig6(
         keyed by utilisation label; each inner list is per-second.
     """
     scale = scale or get_scale()
-    results: Dict[str, Dict[str, List[float]]] = {}
-    tasks = [dict(scale=scale, util=util, alpha=alpha, seed=seed)
-             for util in utilizations]
-    for util, rate, mean, mx in parallel_map(fig6_point, tasks):
-        results[f"util{util:g}"] = {
-            "mean": mean,
-            "max": mx,
-            "smoothed_max": WindowAverager.smooth(mx, scale.smooth_window),
-            "rate": [rate],
-        }
-    return results
+    specs = fig6_specs(scale, seed=get_seed(seed), utilizations=utilizations,
+                       alpha=alpha)
+    return assemble_fig6(specs, execute_specs(specs))
+
+
+def render_fig6(results: Dict[str, Dict[str, List[float]]]) -> None:
+    """The combined-report block (``python -m repro fig6``)."""
+    for label, series in results.items():
+        n = len(series["mean"])
+        print(f"  {label}: rate={series['rate'][0]:.0f}/s "
+              f"mean={sum(series['mean']) / n:.3f} "
+              f"max(avg)={sum(series['max']) / n:.3f} "
+              f"smoothed-max(peak)={max(series['smoothed_max']):.3f}")
+
+
+EXPERIMENT = Experiment(
+    name="fig6",
+    title="utilisation and load balance over time",
+    specs=fig6_specs,
+    assemble=assemble_fig6,
+    render=render_fig6,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -11,18 +11,19 @@ traffic to overload their hosts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.levels import replicas_per_level
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.workload.streams import cuzipf_stream, unif_stream
 
 
@@ -46,11 +47,38 @@ def fig7_point(scale: Scale, util: float, kind: str, alpha: float,
     return f"{kind}@{util:g}", replicas_per_level(system)
 
 
+def fig7_specs(
+    scale: Scale,
+    seed: int = 0,
+    utilizations=(0.1, 0.2, 0.4),
+    alpha: float = 1.0,
+) -> List[RunSpec]:
+    """Declare Fig. 7's run list: one spec per (rate, stream kind)."""
+    return [
+        RunSpec(
+            experiment="fig7",
+            task=f"{kind}@{util:g}",
+            fn="repro.experiments.fig7_levels:fig7_point",
+            params=dict(scale=scale, util=util, kind=kind, alpha=alpha,
+                        seed=seed),
+        )
+        for util in utilizations
+        for kind in ("unif", "uzipf")
+    ]
+
+
+def assemble_fig7(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, List[float]]:
+    """Rebuild the ``{label: per-level series}`` mapping."""
+    return {label: series for label, series in payloads}
+
+
 def run_fig7(
     scale: Optional[Scale] = None,
     utilizations=(0.1, 0.2, 0.4),
     alpha: float = 1.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Reproduce Fig. 7.
 
@@ -59,15 +87,27 @@ def run_fig7(
         level (index = tree depth, 0 = root).
     """
     scale = scale or get_scale()
-    tasks = [
-        dict(scale=scale, util=util, kind=kind, alpha=alpha, seed=seed)
-        for util in utilizations
-        for kind in ("unif", "uzipf")
-    ]
-    results: Dict[str, List[float]] = {}
-    for label, series in parallel_map(fig7_point, tasks):
-        results[label] = series
-    return results
+    specs = fig7_specs(scale, seed=get_seed(seed), utilizations=utilizations,
+                       alpha=alpha)
+    return assemble_fig7(specs, execute_specs(specs))
+
+
+def render_fig7(results: Dict[str, List[float]]) -> None:
+    """The combined-report block (``python -m repro fig7``)."""
+    levels = len(next(iter(results.values())))
+    print("  level " + " ".join(f"{k:>11}" for k in results))
+    for lvl in range(levels):
+        row = " ".join(f"{results[k][lvl]:11.2f}" for k in results)
+        print(f"  {lvl:>5} {row}")
+
+
+EXPERIMENT = Experiment(
+    name="fig7",
+    title="average replicas created per namespace level (N_S)",
+    specs=fig7_specs,
+    assemble=assemble_fig7,
+    render=render_fig7,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -9,19 +9,20 @@ the protocol stabilises rather than churning forever.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.series import minute_buckets, rate_series
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_nc,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
-from repro.experiments.parallel import parallel_map
 from repro.workload.streams import StreamSegment, WorkloadSpec, unif_stream
 
 
@@ -55,11 +56,50 @@ def _long_cuzipf(rate: float, alpha: float, warmup: float, total: float,
     )
 
 
+def fig8_specs(
+    scale: Scale,
+    seed: int = 0,
+    utilization: float = 0.35,
+    alpha: float = 1.0,
+) -> List[RunSpec]:
+    """Declare Fig. 8's run list: one long run per (namespace, stream)."""
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    total = scale.long_run
+    specs: List[RunSpec] = []
+    for suffix in ("S", "C"):
+        for kind in ("unif", "uzipf"):
+            if kind == "unif":
+                stream = unif_stream(rate, total, seed=seed,
+                                     name=f"unif{suffix}")
+            else:
+                stream = _long_cuzipf(
+                    rate, alpha, warmup=scale.warmup, total=total,
+                    seed=seed, name=f"uzipf{suffix}{alpha:.2f}",
+                )
+            specs.append(RunSpec(
+                experiment="fig8",
+                task=stream.name,
+                fn="repro.experiments.fig8_stabilization:fig8_stream",
+                params=dict(scale=scale, suffix=suffix, spec=stream,
+                            total=total, seed=seed),
+            ))
+    return specs
+
+
+def assemble_fig8(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, List[float]]:
+    """Rebuild the ``{stream: per-bucket counts}`` mapping."""
+    return {name: buckets for name, buckets in payloads}
+
+
 def run_fig8(
     scale: Optional[Scale] = None,
     utilization: float = 0.35,
     alpha: float = 1.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Reproduce Fig. 8.
 
@@ -68,27 +108,9 @@ def run_fig8(
         replicas created per bucket (paper: per minute).
     """
     scale = scale or get_scale()
-    results: Dict[str, List[float]] = {}
-    rate = rate_for_utilization(
-        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
-    )
-    total = scale.long_run
-    tasks = []
-    for suffix in ("S", "C"):
-        for kind in ("unif", "uzipf"):
-            if kind == "unif":
-                spec = unif_stream(rate, total, seed=seed,
-                                   name=f"unif{suffix}")
-            else:
-                spec = _long_cuzipf(
-                    rate, alpha, warmup=scale.warmup, total=total,
-                    seed=seed, name=f"uzipf{suffix}{alpha:.2f}",
-                )
-            tasks.append(dict(scale=scale, suffix=suffix, spec=spec,
-                              total=total, seed=seed))
-    for name, buckets in parallel_map(fig8_stream, tasks):
-        results[name] = buckets
-    return results
+    specs = fig8_specs(scale, seed=get_seed(seed), utilization=utilization,
+                       alpha=alpha)
+    return assemble_fig8(specs, execute_specs(specs))
 
 
 def decay_ratio(buckets: List[float]) -> float:
@@ -103,6 +125,23 @@ def decay_ratio(buckets: List[float]) -> float:
     early = sum(buckets[:q]) / q
     late = sum(buckets[-q:]) / q
     return late / early if early > 0 else 0.0
+
+
+def render_fig8(results: Dict[str, List[float]]) -> None:
+    """The combined-report block (``python -m repro fig8``)."""
+    for name, buckets in results.items():
+        ratio = decay_ratio(buckets) if sum(buckets) else float("nan")
+        print(f"  {name:>12} buckets={[round(b) for b in buckets]} "
+              f"decay={ratio:.2f}")
+
+
+EXPERIMENT = Experiment(
+    name="fig8",
+    title="stabilisation: replicas created per bucket over a long run",
+    specs=fig8_specs,
+    assemble=assemble_fig8,
+    render=render_fig8,
+)
 
 
 def main() -> None:  # pragma: no cover

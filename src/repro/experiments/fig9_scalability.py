@@ -11,13 +11,19 @@ approaching proportionality.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.series import rate_series
 from repro.analysis.summary import run_summary
 from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
-from repro.experiments.common import Scale, get_scale, rate_for_utilization
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
+from repro.experiments.common import (
+    Scale,
+    get_scale,
+    get_seed,
+    rate_for_utilization,
+)
 from repro.namespace.generators import balanced_tree
 from repro.workload.streams import cuzipf_stream
 from repro.workload.arrivals import WorkloadDriver
@@ -32,12 +38,97 @@ def sweep_sizes(scale: Scale) -> List[int]:
     return [2**k for k in range(4, 8)]
 
 
+def fig9_point(
+    scale: Scale,
+    n_servers: int,
+    base_k: int,
+    utilization: float,
+    alpha: float,
+    duration: Optional[float],
+    seed: int,
+) -> Dict[str, float]:
+    """One system size of the Fig. 9 sweep -- picklable task unit."""
+    k = int(math.log2(n_servers))
+    # 8 nodes per server: a binary tree with 2^(k+3)-1 nodes
+    ns = balanced_tree(levels=k + 2)
+    cache_slots = scale.cache_slots + 2 * (k - base_k)
+    rmap = 2 + (k - base_k)
+    cfg = SystemConfig.replicated(
+        n_servers=n_servers,
+        seed=seed,
+        cache_slots=cache_slots,
+        rmap=rmap,
+        rfact=2.0,
+    )
+    system = build_system(ns, cfg)
+    rate = rate_for_utilization(
+        utilization, n_servers, hops_estimate=scale.hops_estimate
+    )
+    run_time = duration if duration is not None else max(
+        10.0, scale.phase * 2
+    )
+    spec = cuzipf_stream(
+        rate, alpha, warmup=run_time / 3, phase=run_time / 3,
+        n_phases=2, seed=seed,
+    )
+    driver = WorkloadDriver(system, spec)
+    driver.start()
+    system.run_until(spec.duration + scale.drain)
+    summary = run_summary(system)
+    summary["latency_hops"] = summary["mean_hops"]
+    summary["rate"] = rate
+    summary["nodes"] = float(len(ns))
+    # steady-state drop fraction: second half of the run, after the
+    # cold hierarchical stabilisation (whose absolute cost grows
+    # with system size and would otherwise dominate the average)
+    n_bins = int(spec.duration) + 1
+    half = n_bins // 2
+    injected = rate_series(system, "injected", n_bins)[half:]
+    drops = rate_series(system, "drops", n_bins)[half:]
+    inj = sum(injected)
+    summary["drop_fraction_steady"] = sum(drops) / inj if inj else 0.0
+    return summary
+
+
+def fig9_specs(
+    scale: Scale,
+    seed: int = 0,
+    utilization: float = 0.3,
+    alpha: float = 1.0,
+    duration: Optional[float] = None,
+) -> List[RunSpec]:
+    """Declare Fig. 9's run list: one spec per system size."""
+    sizes = sweep_sizes(scale)
+    base_k = int(math.log2(sizes[0]))
+    return [
+        RunSpec(
+            experiment="fig9",
+            task=f"n{n_servers}",
+            fn="repro.experiments.fig9_scalability:fig9_point",
+            params=dict(scale=scale, n_servers=n_servers, base_k=base_k,
+                        utilization=utilization, alpha=alpha,
+                        duration=duration, seed=seed),
+        )
+        for n_servers in sizes
+    ]
+
+
+def assemble_fig9(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[int, Dict[str, float]]:
+    """Rebuild ``{n_servers: summary}`` keyed in sweep order."""
+    return {
+        spec.params["n_servers"]: summary
+        for spec, summary in zip(specs, payloads)
+    }
+
+
 def run_fig9(
     scale: Optional[Scale] = None,
     utilization: float = 0.3,
     alpha: float = 1.0,
     duration: Optional[float] = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Reproduce Fig. 9.
 
@@ -49,51 +140,29 @@ def run_fig9(
         ``rate``, ``nodes``.
     """
     scale = scale or get_scale()
-    sizes = sweep_sizes(scale)
-    base_k = int(math.log2(sizes[0]))
-    results: Dict[int, Dict[str, float]] = {}
-    for n_servers in sizes:
-        k = int(math.log2(n_servers))
-        # 8 nodes per server: a binary tree with 2^(k+3)-1 nodes
-        ns = balanced_tree(levels=k + 2)
-        cache_slots = scale.cache_slots + 2 * (k - base_k)
-        rmap = 2 + (k - base_k)
-        cfg = SystemConfig.replicated(
-            n_servers=n_servers,
-            seed=seed,
-            cache_slots=cache_slots,
-            rmap=rmap,
-            rfact=2.0,
-        )
-        system = build_system(ns, cfg)
-        rate = rate_for_utilization(
-            utilization, n_servers, hops_estimate=scale.hops_estimate
-        )
-        run_time = duration if duration is not None else max(
-            10.0, scale.phase * 2
-        )
-        spec = cuzipf_stream(
-            rate, alpha, warmup=run_time / 3, phase=run_time / 3,
-            n_phases=2, seed=seed,
-        )
-        driver = WorkloadDriver(system, spec)
-        driver.start()
-        system.run_until(spec.duration + scale.drain)
-        summary = run_summary(system)
-        summary["latency_hops"] = summary["mean_hops"]
-        summary["rate"] = rate
-        summary["nodes"] = float(len(ns))
-        # steady-state drop fraction: second half of the run, after the
-        # cold hierarchical stabilisation (whose absolute cost grows
-        # with system size and would otherwise dominate the average)
-        n_bins = int(spec.duration) + 1
-        half = n_bins // 2
-        injected = rate_series(system, "injected", n_bins)[half:]
-        drops = rate_series(system, "drops", n_bins)[half:]
-        inj = sum(injected)
-        summary["drop_fraction_steady"] = sum(drops) / inj if inj else 0.0
-        results[n_servers] = summary
-    return results
+    specs = fig9_specs(scale, seed=get_seed(seed), utilization=utilization,
+                       alpha=alpha, duration=duration)
+    return assemble_fig9(specs, execute_specs(specs))
+
+
+def render_fig9(results: Dict[int, Dict[str, float]]) -> None:
+    """The combined-report block (``python -m repro fig9``)."""
+    print(f"  {'servers':>8} {'hops':>6} {'latency(ms)':>12} "
+          f"{'replications':>13} {'drop%':>7}")
+    for n, s in results.items():
+        print(f"  {n:>8} {s['mean_hops']:>6.2f} "
+              f"{s['mean_latency'] * 1000:>12.1f} "
+              f"{s['replicas_created']:>13.0f} "
+              f"{100 * s['drop_fraction']:>7.2f}")
+
+
+EXPERIMENT = Experiment(
+    name="fig9",
+    title="scalability with system size (latency, replication, drops)",
+    specs=fig9_specs,
+    assemble=assemble_fig9,
+    render=render_fig9,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -16,18 +16,94 @@ high-water threshold sooner and shed their hot nodes toward fast ones
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.summary import run_summary
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
     run_workload,
 )
 from repro.workload.streams import cuzipf_stream
+
+
+def heterogeneity_case(
+    scale: Scale,
+    label: str,
+    preset: str,
+    slow_fraction: float,
+    slow_factor: float,
+    utilization: float,
+    alpha: float,
+    seed: int,
+) -> Tuple[str, Dict[str, float]]:
+    """One population case -- picklable task unit.
+
+    ``slow_fraction == 0`` is the homogeneous control (no overrides).
+    """
+    ns = make_ns(scale)
+    rate = rate_for_utilization(
+        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    )
+    spec = cuzipf_stream(
+        rate, alpha, warmup=scale.warmup, phase=scale.phase,
+        n_phases=scale.n_phases, seed=seed,
+    )
+    overrides: Dict[str, float] = {}
+    if slow_fraction > 0.0:
+        overrides = dict(slow_server_fraction=slow_fraction,
+                         slow_factor=slow_factor)
+    system = build(ns, scale, preset=preset, seed=seed, **overrides)
+    run_workload(system, spec, drain=scale.drain)
+    summary = run_summary(system)
+    slow = [p for p in system.peers
+            if p.service_mean > system.cfg.service_mean]
+    hosted_slow = sum(p.n_hosted for p in slow)
+    hosted_all = sum(p.n_hosted for p in system.peers)
+    summary["slow_hosted_share"] = (
+        hosted_slow / hosted_all if hosted_all else 0.0
+    )
+    summary["n_slow"] = float(len(slow))
+    return label, summary
+
+
+def heterogeneity_specs(
+    scale: Scale,
+    seed: int = 0,
+    slow_fraction: float = 0.5,
+    slow_factor: float = 2.5,
+    utilization: float = 0.35,
+    alpha: float = 1.0,
+) -> List[RunSpec]:
+    """Declare the run list: homogeneous control plus two mixed fleets."""
+    cases = (
+        ("homogeneous-BCR", "BCR", 0.0),
+        ("heterogeneous-BC", "BC", slow_fraction),
+        ("heterogeneous-BCR", "BCR", slow_fraction),
+    )
+    return [
+        RunSpec(
+            experiment="heterogeneity",
+            task=label,
+            fn="repro.experiments.heterogeneity:heterogeneity_case",
+            params=dict(scale=scale, label=label, preset=preset,
+                        slow_fraction=fraction, slow_factor=slow_factor,
+                        utilization=utilization, alpha=alpha, seed=seed),
+        )
+        for label, preset, fraction in cases
+    ]
+
+
+def assemble_heterogeneity(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, Dict[str, float]]:
+    """Rebuild the ``{case: summary}`` mapping from run payloads."""
+    return {label: summary for label, summary in payloads}
 
 
 def run_heterogeneity(
@@ -36,7 +112,7 @@ def run_heterogeneity(
     slow_factor: float = 2.5,
     utilization: float = 0.35,
     alpha: float = 1.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Compare BC vs BCR on a heterogeneous server population.
 
@@ -47,36 +123,28 @@ def run_heterogeneity(
     push it below the static share).
     """
     scale = scale or get_scale()
-    ns = make_ns(scale)
-    rate = rate_for_utilization(
-        utilization, scale.n_servers, hops_estimate=scale.hops_estimate
+    specs = heterogeneity_specs(
+        scale, seed=get_seed(seed), slow_fraction=slow_fraction,
+        slow_factor=slow_factor, utilization=utilization, alpha=alpha,
     )
-    spec = cuzipf_stream(
-        rate, alpha, warmup=scale.warmup, phase=scale.phase,
-        n_phases=scale.n_phases, seed=seed,
-    )
-    cases = {
-        "homogeneous-BCR": ("BCR", {}),
-        "heterogeneous-BC": ("BC", dict(
-            slow_server_fraction=slow_fraction, slow_factor=slow_factor)),
-        "heterogeneous-BCR": ("BCR", dict(
-            slow_server_fraction=slow_fraction, slow_factor=slow_factor)),
-    }
-    results: Dict[str, Dict[str, float]] = {}
-    for label, (preset, overrides) in cases.items():
-        system = build(ns, scale, preset=preset, seed=seed, **overrides)
-        run_workload(system, spec, drain=scale.drain)
-        summary = run_summary(system)
-        slow = [p for p in system.peers
-                if p.service_mean > system.cfg.service_mean]
-        hosted_slow = sum(p.n_hosted for p in slow)
-        hosted_all = sum(p.n_hosted for p in system.peers)
-        summary["slow_hosted_share"] = (
-            hosted_slow / hosted_all if hosted_all else 0.0
-        )
-        summary["n_slow"] = float(len(slow))
-        results[label] = summary
-    return results
+    return assemble_heterogeneity(specs, execute_specs(specs))
+
+
+def render_heterogeneity(results: Dict[str, Dict[str, float]]) -> None:
+    """The combined-report block (``python -m repro heterogeneity``)."""
+    print(f"  {'case':>20} {'drop%':>7} {'slow hosted %':>14}")
+    for label, s in results.items():
+        print(f"  {label:>20} {100 * s['drop_fraction']:>7.2f} "
+              f"{100 * s['slow_hosted_share']:>14.1f}")
+
+
+EXPERIMENT = Experiment(
+    name="heterogeneity",
+    title="adaptive replication on a half-slow fleet",
+    specs=heterogeneity_specs,
+    assemble=assemble_heterogeneity,
+    render=render_heterogeneity,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -56,9 +56,37 @@ def worker_count(n_tasks: int, workers: Optional[int] = None) -> int:
     return min(workers, n_tasks)
 
 
+class ParallelTaskError(RuntimeError):
+    """A ``parallel_map`` task failed; names the task, not just the error.
+
+    A bare pool failure surfaces as a remote traceback with no hint of
+    which of N identical-looking tasks died; this wrapper carries the
+    task index, the function, and a truncated kwargs summary.  The
+    message also embeds the original exception, since exception chains
+    (``__cause__``) do not survive pickling back from pool workers.
+    """
+
+
+def _describe_kwargs(kwargs: Dict[str, Any], limit: int = 60) -> str:
+    parts = []
+    for k, v in kwargs.items():
+        r = repr(v)
+        if len(r) > limit:
+            r = r[: limit - 3] + "..."
+        parts.append(f"{k}={r}")
+    return ", ".join(parts)
+
+
 def _invoke(payload):
-    fn, kwargs = payload
-    return fn(**kwargs)
+    index, total, fn, kwargs = payload
+    try:
+        return fn(**kwargs)
+    except Exception as exc:
+        raise ParallelTaskError(
+            f"task {index}/{total} ({fn.__module__}.{fn.__qualname__}) "
+            f"failed with {type(exc).__name__}: {exc} "
+            f"[kwargs: {_describe_kwargs(kwargs)}]"
+        ) from exc
 
 
 def parallel_map(
@@ -70,11 +98,15 @@ def parallel_map(
 
     Serial when the resolved worker count is 0 or there is at most one
     task.  Uses the ``spawn`` start method for portability (no
-    inherited simulator state).
+    inherited simulator state).  A failing task raises
+    :class:`ParallelTaskError` naming its index and kwargs (in both the
+    serial and pooled paths, so failures read the same either way).
     """
     n = worker_count(len(kwargs_list), workers)
-    if n == 0 or len(kwargs_list) <= 1:
-        return [fn(**kw) for kw in kwargs_list]
+    total = len(kwargs_list)
+    payloads = [(i, total, fn, kw) for i, kw in enumerate(kwargs_list)]
+    if n == 0 or total <= 1:
+        return [_invoke(p) for p in payloads]
     ctx = multiprocessing.get_context("spawn")
     with ctx.Pool(processes=n) as pool:
-        return pool.map(_invoke, [(fn, kw) for kw in kwargs_list])
+        return pool.map(_invoke, payloads)

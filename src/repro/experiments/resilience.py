@@ -17,16 +17,18 @@ at a known instant, optionally recover them later, and measure
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import random
 
 from repro.analysis.series import rate_series
 from repro.cluster.failures import FailureInjector, unreachable_nodes
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
 )
@@ -34,26 +36,15 @@ from repro.workload.arrivals import WorkloadDriver
 from repro.workload.streams import uzipf_stream
 
 
-def run_resilience(
-    scale: Optional[Scale] = None,
-    fail_fraction: float = 0.25,
-    utilization: float = 0.3,
-    alpha: float = 1.0,
-    recover: bool = True,
-    seed: int = 0,
+def resilience_run(
+    scale: Scale,
+    fail_fraction: float,
+    utilization: float,
+    alpha: float,
+    recover: bool,
+    seed: int,
 ) -> Dict[str, float]:
-    """Fail ``fail_fraction`` of servers mid-run; measure the reaction.
-
-    Timeline (in units of ``scale.phase``): steady traffic for 2
-    phases, failure at t=2 phases, (optional) recovery at 3 phases,
-    end at 4 phases.
-
-    Returns a flat dict: completion rates per epoch, replica creations
-    per epoch, black-hole node count at the failure instant.
-    """
-    scale = scale or get_scale()
-    if not 0.0 < fail_fraction < 1.0:
-        raise ValueError("fail_fraction must be in (0, 1)")
+    """The full failure/recovery timeline -- picklable task unit."""
     ns = make_ns(scale)
     system = build(ns, scale, preset="BCR", seed=seed)
     injector = FailureInjector(system)
@@ -98,6 +89,79 @@ def run_resilience(
         "replicas_after": epoch(created, 3 * phase, 4 * phase),
         "recovered": 1.0 if recover else 0.0,
     }
+
+
+def resilience_specs(
+    scale: Scale,
+    seed: int = 0,
+    fail_fraction: float = 0.25,
+    utilization: float = 0.3,
+    alpha: float = 1.0,
+    recover: bool = True,
+) -> List[RunSpec]:
+    """Declare the (single-run) resilience campaign.
+
+    Raises:
+        ValueError: for ``fail_fraction`` outside (0, 1).
+    """
+    if not 0.0 < fail_fraction < 1.0:
+        raise ValueError("fail_fraction must be in (0, 1)")
+    label = "recover" if recover else "no-recovery"
+    return [RunSpec(
+        experiment="resilience",
+        task=f"fail{fail_fraction:g}:{label}",
+        fn="repro.experiments.resilience:resilience_run",
+        params=dict(scale=scale, fail_fraction=fail_fraction,
+                    utilization=utilization, alpha=alpha, recover=recover,
+                    seed=seed),
+    )]
+
+
+def assemble_resilience(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, float]:
+    """The single run's flat metric dict."""
+    return payloads[0]
+
+
+def run_resilience(
+    scale: Optional[Scale] = None,
+    fail_fraction: float = 0.25,
+    utilization: float = 0.3,
+    alpha: float = 1.0,
+    recover: bool = True,
+    seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """Fail ``fail_fraction`` of servers mid-run; measure the reaction.
+
+    Timeline (in units of ``scale.phase``): steady traffic for 2
+    phases, failure at t=2 phases, (optional) recovery at 3 phases,
+    end at 4 phases.
+
+    Returns a flat dict: completion rates per epoch, replica creations
+    per epoch, black-hole node count at the failure instant.
+    """
+    scale = scale or get_scale()
+    specs = resilience_specs(
+        scale, seed=get_seed(seed), fail_fraction=fail_fraction,
+        utilization=utilization, alpha=alpha, recover=recover,
+    )
+    return assemble_resilience(specs, execute_specs(specs))
+
+
+def render_resilience(results: Dict[str, float]) -> None:
+    """The combined-report block (``python -m repro resilience``)."""
+    for k, v in results.items():
+        print(f"  {k:<20} {v:,.3f}")
+
+
+EXPERIMENT = Experiment(
+    name="resilience",
+    title="fail a quarter of the fleet mid-run; measure the reaction",
+    specs=resilience_specs,
+    assemble=assemble_resilience,
+    render=render_resilience,
+)
 
 
 def main() -> None:  # pragma: no cover

@@ -1,5 +1,10 @@
 """Run every experiment and print a combined report.
 
+A thin shell over the experiment registry in
+:mod:`repro.experiments.campaign`: every block below is produced by the
+owning module's ``EXPERIMENT`` (specs -> execute -> assemble -> render),
+so this file holds no per-figure glue.
+
 Usage::
 
     python -m repro.experiments.runner             # tiny scale
@@ -9,157 +14,36 @@ Usage::
 
 from __future__ import annotations
 
+import functools
 import sys
 import time
 from typing import Callable, Dict, List
 
-from repro.experiments.common import get_scale
-from repro.experiments.report import (
-    format_matrix,
-    sparkline,
+from repro.experiments.campaign import (
+    EXPERIMENT_NAMES,
+    execute_specs,
+    get_experiment,
 )
+from repro.experiments.common import get_scale, get_seed
 
 
-def _fig3(scale) -> None:
-    from repro.experiments.fig3_drops import run_fig3
-
-    results = run_fig3(scale=scale)
-    print("series (drop fraction per second, vs rate):")
-    for name, series in results.items():
-        print(f"  {name:>10} {sparkline(series)}  "
-              f"(mean {sum(series) / len(series):.4f})")
-
-
-def _fig4(scale) -> None:
-    from repro.experiments.fig4_replicas import run_fig4
-
-    results = run_fig4(scale=scale)
-    print("series (replicas created per second, vs rate):")
-    for name, series in results.items():
-        print(f"  {name:>10} {sparkline(series)}  "
-              f"(total {sum(series) * 1.0:.4f})")
-
-
-def _fig5(scale) -> None:
-    from repro.experiments.fig5_ablation import drop_table, run_fig5
-
-    table = drop_table(run_fig5(scale=scale))
-    streams = list(next(iter(table.values())).keys())
-    print(format_matrix(
-        row_labels=list(table),
-        col_labels=streams,
-        values=[[table[p][s] for s in streams] for p in table],
-        width=11,
-    ))
-
-
-def _fig6(scale) -> None:
-    from repro.experiments.fig6_load import run_fig6
-
-    for label, series in run_fig6(scale=scale).items():
-        n = len(series["mean"])
-        print(f"  {label}: rate={series['rate'][0]:.0f}/s "
-              f"mean={sum(series['mean']) / n:.3f} "
-              f"max(avg)={sum(series['max']) / n:.3f} "
-              f"smoothed-max(peak)={max(series['smoothed_max']):.3f}")
-
-
-def _fig7(scale) -> None:
-    from repro.experiments.fig7_levels import run_fig7
-
-    results = run_fig7(scale=scale)
-    levels = len(next(iter(results.values())))
-    print("  level " + " ".join(f"{k:>11}" for k in results))
-    for lvl in range(levels):
-        row = " ".join(f"{results[k][lvl]:11.2f}" for k in results)
-        print(f"  {lvl:>5} {row}")
-
-
-def _fig8(scale) -> None:
-    from repro.experiments.fig8_stabilization import decay_ratio, run_fig8
-
-    for name, buckets in run_fig8(scale=scale).items():
-        ratio = decay_ratio(buckets) if sum(buckets) else float("nan")
-        print(f"  {name:>12} buckets={[round(b) for b in buckets]} "
-              f"decay={ratio:.2f}")
-
-
-def _fig9(scale) -> None:
-    from repro.experiments.fig9_scalability import run_fig9
-
-    results = run_fig9(scale=scale)
-    print(f"  {'servers':>8} {'hops':>6} {'latency(ms)':>12} "
-          f"{'replications':>13} {'drop%':>7}")
-    for n, s in results.items():
-        print(f"  {n:>8} {s['mean_hops']:>6.2f} "
-              f"{s['mean_latency'] * 1000:>12.1f} "
-              f"{s['replicas_created']:>13.0f} "
-              f"{100 * s['drop_fraction']:>7.2f}")
-
-
-def _churn(scale) -> None:
-    from repro.experiments.churn_digests import MODES, run_churn
-
-    results = run_churn(scale=scale)
-    print(f"  {'rfact':>7} " + " ".join(f"{m:>12}" for m in MODES)
-          + "   (stale-hop rate)")
-    for rfact, per_mode in results.items():
-        row = " ".join(f"{per_mode[m]['stale_hop_rate']:12.4f}"
-                       for m in MODES)
-        print(f"  {rfact:>7} {row}")
-
-
-def _heterogeneity(scale) -> None:
-    from repro.experiments.heterogeneity import run_heterogeneity
-
-    results = run_heterogeneity(scale=scale)
-    print(f"  {'case':>20} {'drop%':>7} {'slow hosted %':>14}")
-    for label, s in results.items():
-        print(f"  {label:>20} {100 * s['drop_fraction']:>7.2f} "
-              f"{100 * s['slow_hosted_share']:>14.1f}")
-
-
-def _resilience(scale) -> None:
-    from repro.experiments.resilience import run_resilience
-
-    for k, v in run_resilience(scale=scale).items():
-        print(f"  {k:<20} {v:,.3f}")
-
-
-def _static(scale) -> None:
-    from repro.experiments.static_vs_adaptive import run_static_vs_adaptive
-
-    results = run_static_vs_adaptive(scale=scale)
-    print(f"  {'mode':>10} {'warm-up':>9} {'shifting':>9} {'replicas':>9}")
-    for mode, s in results.items():
-        print(f"  {mode:>10} {s['drop_warmup']:>9.4f} "
-              f"{s['drop_shifting']:>9.4f} {s['replicas_created']:>9.0f}")
-
-
-def _table1(scale) -> None:
-    from repro.experiments.table1_state import run_table1
-
-    for rel, count in run_table1(scale=scale).items():
-        print(f"  {rel:>12}: {count}")
+def run_and_render(name: str, scale) -> None:
+    """Execute one registered experiment in memory; print its block."""
+    exp = get_experiment(name)
+    specs = exp.specs(scale, seed=get_seed())
+    exp.render(exp.assemble(specs, execute_specs(specs)))
 
 
 EXPERIMENTS: Dict[str, Callable] = {
-    "table1": _table1,
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "fig5": _fig5,
-    "fig6": _fig6,
-    "fig7": _fig7,
-    "fig8": _fig8,
-    "fig9": _fig9,
-    "churn": _churn,
-    "heterogeneity": _heterogeneity,
-    "resilience": _resilience,
-    "static": _static,
+    name: functools.partial(run_and_render, name)
+    for name in EXPERIMENT_NAMES
 }
+"""Name -> ``f(scale)`` printing that experiment's report block (the
+interface ``repro.sim.profile`` drives)."""
 
 
 def main(argv: List[str]) -> None:
+    """Print the combined report for the requested experiment subset."""
     scale = get_scale()
     wanted = argv or list(EXPERIMENTS)
     unknown = [w for w in wanted if w not in EXPERIMENTS]
@@ -170,10 +54,10 @@ def main(argv: List[str]) -> None:
     print(f"scale={scale.name}  servers={scale.n_servers}  "
           f"N_S=2^{scale.ns_levels + 1}-1 nodes  N_C={scale.nc_nodes} nodes")
     for name in wanted:
-        t0 = time.time()
+        t0 = time.perf_counter()
         print(f"\n=== {name} ===")
         EXPERIMENTS[name](scale)
-        print(f"  [{time.time() - t0:.1f}s]")
+        print(f"  [{time.perf_counter() - t0:.1f}s]")
 
 
 if __name__ == "__main__":

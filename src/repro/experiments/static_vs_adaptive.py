@@ -16,15 +16,17 @@ tree-top bottleneck) and falls behind once hot-spots start moving.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.series import rate_series
 from repro.analysis.summary import run_summary
 from repro.core.static_replication import replicate_top_levels
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
 )
@@ -34,19 +36,16 @@ from repro.workload.streams import cuzipf_stream
 MODES = ("static", "adaptive", "both")
 
 
-def run_static_vs_adaptive(
-    scale: Optional[Scale] = None,
-    utilization: float = 0.4,
-    alpha: float = 1.25,
-    depth_limit: int = 2,
-    copies: int = 4,
-    seed: int = 0,
-    modes=MODES,
-) -> Dict[str, Dict[str, float]]:
-    """Returns ``{mode: summary}`` with per-epoch drop fractions added
-    (``drop_warmup`` for the uniform prefix, ``drop_shifting`` for the
-    Zipf phases)."""
-    scale = scale or get_scale()
+def static_mode_run(
+    scale: Scale,
+    mode: str,
+    utilization: float,
+    alpha: float,
+    depth_limit: int,
+    copies: int,
+    seed: int,
+) -> Tuple[str, Dict[str, float]]:
+    """One replication mode against the shared workload -- task unit."""
     ns = make_ns(scale)
     rate = rate_for_utilization(
         utilization, scale.n_servers, hops_estimate=scale.hops_estimate
@@ -55,31 +54,95 @@ def run_static_vs_adaptive(
         rate, alpha, warmup=scale.warmup, phase=scale.phase,
         n_phases=scale.n_phases, seed=seed,
     )
-    results: Dict[str, Dict[str, float]] = {}
-    for mode in modes:
-        overrides = {}
-        if mode == "static":
-            overrides["replication_enabled"] = False
-        system = build(ns, scale, preset="BCR", seed=seed, **overrides)
-        if mode in ("static", "both"):
-            replicate_top_levels(
-                system, depth_limit=depth_limit, copies=copies, seed=seed
-            )
-        driver = WorkloadDriver(system, spec)
-        driver.start()
-        system.run_until(spec.duration + scale.drain)
+    overrides = {}
+    if mode == "static":
+        overrides["replication_enabled"] = False
+    system = build(ns, scale, preset="BCR", seed=seed, **overrides)
+    if mode in ("static", "both"):
+        replicate_top_levels(
+            system, depth_limit=depth_limit, copies=copies, seed=seed
+        )
+    driver = WorkloadDriver(system, spec)
+    driver.start()
+    system.run_until(spec.duration + scale.drain)
 
-        summary = run_summary(system)
-        n_bins = int(spec.duration) + 1
-        injected = rate_series(system, "injected", n_bins)
-        drops = rate_series(system, "drops", n_bins)
-        w = int(scale.warmup)
-        inj_w, drop_w = sum(injected[:w]), sum(drops[:w])
-        inj_z, drop_z = sum(injected[w:]), sum(drops[w:])
-        summary["drop_warmup"] = drop_w / inj_w if inj_w else 0.0
-        summary["drop_shifting"] = drop_z / inj_z if inj_z else 0.0
-        results[mode] = summary
-    return results
+    summary = run_summary(system)
+    n_bins = int(spec.duration) + 1
+    injected = rate_series(system, "injected", n_bins)
+    drops = rate_series(system, "drops", n_bins)
+    w = int(scale.warmup)
+    inj_w, drop_w = sum(injected[:w]), sum(drops[:w])
+    inj_z, drop_z = sum(injected[w:]), sum(drops[w:])
+    summary["drop_warmup"] = drop_w / inj_w if inj_w else 0.0
+    summary["drop_shifting"] = drop_z / inj_z if inj_z else 0.0
+    return mode, summary
+
+
+def static_vs_adaptive_specs(
+    scale: Scale,
+    seed: int = 0,
+    utilization: float = 0.4,
+    alpha: float = 1.25,
+    depth_limit: int = 2,
+    copies: int = 4,
+    modes=MODES,
+) -> List[RunSpec]:
+    """Declare the run list: one spec per replication mode."""
+    return [
+        RunSpec(
+            experiment="static",
+            task=mode,
+            fn="repro.experiments.static_vs_adaptive:static_mode_run",
+            params=dict(scale=scale, mode=mode, utilization=utilization,
+                        alpha=alpha, depth_limit=depth_limit, copies=copies,
+                        seed=seed),
+        )
+        for mode in modes
+    ]
+
+
+def assemble_static_vs_adaptive(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, Dict[str, float]]:
+    """Rebuild the ``{mode: summary}`` mapping from run payloads."""
+    return {mode: summary for mode, summary in payloads}
+
+
+def run_static_vs_adaptive(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    alpha: float = 1.25,
+    depth_limit: int = 2,
+    copies: int = 4,
+    seed: Optional[int] = None,
+    modes=MODES,
+) -> Dict[str, Dict[str, float]]:
+    """Returns ``{mode: summary}`` with per-epoch drop fractions added
+    (``drop_warmup`` for the uniform prefix, ``drop_shifting`` for the
+    Zipf phases)."""
+    scale = scale or get_scale()
+    specs = static_vs_adaptive_specs(
+        scale, seed=get_seed(seed), utilization=utilization, alpha=alpha,
+        depth_limit=depth_limit, copies=copies, modes=modes,
+    )
+    return assemble_static_vs_adaptive(specs, execute_specs(specs))
+
+
+def render_static_vs_adaptive(results: Dict[str, Dict[str, float]]) -> None:
+    """The combined-report block (``python -m repro static``)."""
+    print(f"  {'mode':>10} {'warm-up':>9} {'shifting':>9} {'replicas':>9}")
+    for mode, s in results.items():
+        print(f"  {mode:>10} {s['drop_warmup']:>9.4f} "
+              f"{s['drop_shifting']:>9.4f} {s['replicas_created']:>9.0f}")
+
+
+EXPERIMENT = Experiment(
+    name="static",
+    title="static vs adaptive replication under shifting hot-spots",
+    specs=static_vs_adaptive_specs,
+    assemble=assemble_static_vs_adaptive,
+    render=render_static_vs_adaptive,
+)
 
 
 def main() -> None:  # pragma: no cover

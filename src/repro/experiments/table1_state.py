@@ -8,12 +8,14 @@ checked against the paper's Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
     Scale,
     build,
     get_scale,
+    get_seed,
     make_ns,
     rate_for_utilization,
     run_workload,
@@ -22,18 +24,15 @@ from repro.server.state import Relationship, audit_peer
 from repro.workload.streams import cuzipf_stream
 
 
-def run_table1(
-    scale: Optional[Scale] = None,
-    utilization: float = 0.4,
-    seed: int = 0,
+def table1_audit(
+    scale: Scale, utilization: float, seed: int
 ) -> Dict[str, int]:
-    """Audit all peers; returns aggregate node counts per relationship.
+    """Drive a workload, then audit every peer -- picklable task unit.
 
     Raises:
         AssertionError: if any peer maintains state deviating from
             Table 1 (too much or missing mandatory columns).
     """
-    scale = scale or get_scale()
     ns = make_ns(scale)
     rate = rate_for_utilization(
         utilization, scale.n_servers, hops_estimate=scale.hops_estimate
@@ -50,6 +49,56 @@ def run_table1(
         for rel, count in audit_peer(peer).items():
             totals[rel] += count
     return {rel.value: count for rel, count in totals.items()}
+
+
+def table1_specs(
+    scale: Scale, seed: int = 0, utilization: float = 0.4
+) -> List[RunSpec]:
+    """Declare the (single-run) Table 1 audit campaign."""
+    return [RunSpec(
+        experiment="table1",
+        task="audit",
+        fn="repro.experiments.table1_state:table1_audit",
+        params=dict(scale=scale, utilization=utilization, seed=seed),
+    )]
+
+
+def assemble_table1(
+    specs: Sequence[RunSpec], payloads: Sequence[Any]
+) -> Dict[str, int]:
+    """The single audit's relationship counts."""
+    return payloads[0]
+
+
+def run_table1(
+    scale: Optional[Scale] = None,
+    utilization: float = 0.4,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Audit all peers; returns aggregate node counts per relationship.
+
+    Raises:
+        AssertionError: if any peer maintains state deviating from
+            Table 1 (too much or missing mandatory columns).
+    """
+    scale = scale or get_scale()
+    specs = table1_specs(scale, seed=get_seed(seed), utilization=utilization)
+    return assemble_table1(specs, execute_specs(specs))
+
+
+def render_table1(counts: Dict[str, int]) -> None:
+    """The combined-report block (``python -m repro table1``)."""
+    for rel, count in counts.items():
+        print(f"  {rel:>12}: {count}")
+
+
+EXPERIMENT = Experiment(
+    name="table1",
+    title="audit live server state against the Table 1 matrix",
+    specs=table1_specs,
+    assemble=assemble_table1,
+    render=render_table1,
+)
 
 
 def main() -> None:  # pragma: no cover

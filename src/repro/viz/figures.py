@@ -1,10 +1,14 @@
 """Regenerate the paper's figures as SVG files.
 
 Runs the experiment harness (at the ``REPRO_SCALE`` size) and renders
-each figure with the chart primitives of :mod:`repro.viz.svg`::
+each figure with the chart primitives of :mod:`repro.viz.svg`.  Every
+registered figure is produced through the campaign layer
+(:func:`repro.experiments.campaign.run_experiment`), so pointing
+``--results`` at an existing artifact directory assembles figures from
+stored runs instead of re-simulating::
 
     python -m repro.viz.figures --out figures
-    python -m repro.viz.figures --out figures fig5 fig7
+    python -m repro.viz.figures --out figures --results results fig5 fig7
 """
 
 from __future__ import annotations
@@ -14,14 +18,16 @@ import pathlib
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.experiments.campaign import ResultStore, run_experiment
 from repro.experiments.common import Scale, get_scale
 from repro.viz.svg import BarChart, LineChart
 
+Store = Optional[ResultStore]
 
-def fig3_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig3_drops import run_fig3
 
-    results = run_fig3(scale=scale, seed=seed)
+def fig3_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 3 line chart: drop fraction per second, per stream."""
+    results = run_experiment("fig3", scale=scale, seed=seed, store=store)
     chart = LineChart(
         "Fig. 3 — fraction of queries dropped every second",
         x_label="time (s)", y_label="drop fraction (vs rate)",
@@ -31,10 +37,9 @@ def fig3_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig4_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig4_replicas import run_fig4
-
-    results = run_fig4(scale=scale, seed=seed)
+def fig4_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 4 line chart: replica creations per second, per stream."""
+    results = run_experiment("fig4", scale=scale, seed=seed, store=store)
     chart = LineChart(
         "Fig. 4 — replicas created every second (namespace N_C)",
         x_label="time (s)", y_label="creations (vs rate)",
@@ -44,10 +49,13 @@ def fig4_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig5_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig5_ablation import drop_table, run_fig5
+def fig5_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 5 bar chart: drop fraction per (preset, stream) cell."""
+    from repro.experiments.fig5_ablation import drop_table
 
-    table = drop_table(run_fig5(scale=scale, seed=seed))
+    table = drop_table(
+        run_experiment("fig5", scale=scale, seed=seed, store=store)
+    )
     streams = list(next(iter(table.values())).keys())
     chart = BarChart(
         "Fig. 5 — dropped queries: base (B), +caching (BC), +replication (BCR)",
@@ -58,10 +66,9 @@ def fig5_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig6_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig6_load import run_fig6
-
-    results = run_fig6(scale=scale, seed=seed)
+def fig6_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 6 line chart: mean and max server load over time."""
+    results = run_experiment("fig6", scale=scale, seed=seed, store=store)
     chart = LineChart(
         "Fig. 6 — mean and max server load over time",
         x_label="time (s)", y_label="load (utilisation)",
@@ -77,10 +84,9 @@ def fig6_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig7_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig7_levels import run_fig7
-
-    results = run_fig7(scale=scale, seed=seed)
+def fig7_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 7 line chart: average replicas created per tree level."""
+    results = run_experiment("fig7", scale=scale, seed=seed, store=store)
     chart = LineChart(
         "Fig. 7 — average replicas created per namespace level",
         x_label="namespace tree level (0 = root)",
@@ -91,10 +97,9 @@ def fig7_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig8_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig8_stabilization import run_fig8
-
-    results = run_fig8(scale=scale, seed=seed)
+def fig8_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 8 line chart: replica creations per bucket, long run."""
+    results = run_experiment("fig8", scale=scale, seed=seed, store=store)
     chart = LineChart(
         "Fig. 8 — replicas created per bucket over a long run",
         x_label=f"bucket ({scale.long_bucket}s)", y_label="replicas created",
@@ -104,10 +109,9 @@ def fig8_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig9_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.fig9_scalability import run_fig9
-
-    results = run_fig9(scale=scale, seed=seed)
+def fig9_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Fig. 9 line chart: latency, replication, drops vs system size."""
+    results = run_experiment("fig9", scale=scale, seed=seed, store=store)
     sizes = list(results)
     chart = LineChart(
         "Fig. 9 — scalability of latency, replication, and drops",
@@ -131,7 +135,8 @@ def fig9_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def fig5_sparse_svg(scale: Scale, seed: int = 1) -> str:
+def fig5_sparse_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Sparse-ownership Fig. 5 variant (not a registered experiment)."""
     from repro.experiments.fig5_ablation import run_fig5_sparse
 
     table = run_fig5_sparse(seed=seed)
@@ -145,10 +150,11 @@ def fig5_sparse_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def heterogeneity_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.heterogeneity import run_heterogeneity
-
-    results = run_heterogeneity(scale=scale, seed=seed)
+def heterogeneity_svg(scale: Scale, seed: int = 1, store: Store = None) -> str:
+    """Heterogeneity bar chart: drop fraction per population case."""
+    results = run_experiment(
+        "heterogeneity", scale=scale, seed=seed, store=store
+    )
     cases = list(results)
     chart = BarChart(
         "Heterogeneity — half the fleet 2.5× slower (§5 claim)",
@@ -159,10 +165,11 @@ def heterogeneity_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-def static_vs_adaptive_svg(scale: Scale, seed: int = 1) -> str:
-    from repro.experiments.static_vs_adaptive import run_static_vs_adaptive
-
-    results = run_static_vs_adaptive(scale=scale, seed=seed)
+def static_vs_adaptive_svg(
+    scale: Scale, seed: int = 1, store: Store = None
+) -> str:
+    """Static-vs-adaptive bar chart: per-epoch drop fraction per mode."""
+    results = run_experiment("static", scale=scale, seed=seed, store=store)
     modes = list(results)
     chart = BarChart(
         "Static vs adaptive replication (§2.3 argument)",
@@ -175,7 +182,7 @@ def static_vs_adaptive_svg(scale: Scale, seed: int = 1) -> str:
     return chart.render()
 
 
-FIGURES: Dict[str, Callable[[Scale, int], str]] = {
+FIGURES: Dict[str, Callable[..., str]] = {
     "fig3": fig3_svg,
     "fig4": fig4_svg,
     "fig5": fig5_svg,
@@ -194,8 +201,12 @@ def render_figures(
     names: Optional[List[str]] = None,
     scale: Optional[Scale] = None,
     seed: int = 1,
+    store: Store = None,
 ) -> List[str]:
     """Render the requested figures (default: all) into ``out_dir``.
+
+    With ``store`` set, runs whose artifacts already exist are read from
+    disk instead of re-simulated (and fresh runs are persisted there).
 
     Returns the written file paths.
     """
@@ -208,7 +219,7 @@ def render_figures(
     out.mkdir(parents=True, exist_ok=True)
     written = []
     for name in wanted:
-        svg = FIGURES[name](scale, seed)
+        svg = FIGURES[name](scale, seed, store)
         path = out / f"{name}.svg"
         path.write_text(svg)
         written.append(str(path))
@@ -217,14 +228,17 @@ def render_figures(
 
 def main(argv: List[str]) -> None:  # pragma: no cover - thin CLI
     out = "figures"
+    store: Store = None
     names: List[str] = []
     it = iter(argv)
     for arg in it:
         if arg == "--out":
             out = next(it)
+        elif arg == "--results":
+            store = ResultStore(next(it))
         else:
             names.append(arg)
-    for path in render_figures(out, names or None):
+    for path in render_figures(out, names or None, store=store):
         print(f"wrote {path}")
 
 

@@ -4,7 +4,11 @@ import os
 
 import pytest
 
-from repro.experiments.parallel import parallel_map, worker_count
+from repro.experiments.parallel import (
+    ParallelTaskError,
+    parallel_map,
+    worker_count,
+)
 
 
 def square(x):
@@ -67,6 +71,31 @@ class TestParallelMap:
     def test_parallel_exceptions_propagate(self):
         with pytest.raises(RuntimeError):
             parallel_map(boom, [dict(x=1), dict(x=2)], workers=2)
+
+    def test_serial_error_reports_task_context(self):
+        with pytest.raises(ParallelTaskError) as exc_info:
+            parallel_map(
+                boom, [dict(x=1), dict(x="long-string-value" * 20)],
+                workers=0,
+            )
+        msg = str(exc_info.value)
+        assert "task 0/2" in msg
+        assert "boom" in msg
+        assert "RuntimeError: task failure" in msg
+        assert "x=1" in msg
+        assert exc_info.value.__cause__ is not None
+
+    def test_parallel_error_reports_task_context(self):
+        with pytest.raises(ParallelTaskError) as exc_info:
+            parallel_map(boom, [dict(x=1), dict(x=2)], workers=2)
+        assert "boom" in str(exc_info.value)
+        assert "RuntimeError: task failure" in str(exc_info.value)
+
+    def test_error_kwargs_are_truncated(self):
+        with pytest.raises(ParallelTaskError) as exc_info:
+            parallel_map(boom, [dict(x="v" * 500)], workers=0)
+        assert "..." in str(exc_info.value)
+        assert len(str(exc_info.value)) < 400
 
     def test_parallel_matches_serial_for_experiment_cell(self):
         """A real experiment cell produces identical results either way."""

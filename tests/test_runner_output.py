@@ -1,8 +1,9 @@
-"""The runner's per-experiment printers produce sane reports."""
+"""The registry-driven experiment printers produce sane reports."""
 
 import pytest
 
 from repro.experiments import runner
+from repro.experiments.campaign import EXPERIMENT_NAMES, get_experiment
 from repro.experiments.common import Scale
 
 MICRO = Scale(
@@ -12,35 +13,53 @@ MICRO = Scale(
 )
 
 
+class TestRegistry:
+    def test_every_experiment_registered(self):
+        assert set(runner.EXPERIMENTS) == set(EXPERIMENT_NAMES)
+
+    def test_registry_entries_are_complete(self):
+        for name in EXPERIMENT_NAMES:
+            exp = get_experiment(name)
+            assert exp.name == name
+            assert exp.title
+            assert callable(exp.specs)
+            assert callable(exp.assemble)
+            assert callable(exp.render)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            get_experiment("bogus")
+
+
 class TestPrinters:
     def test_table1_printer(self, capsys):
-        runner._table1(MICRO)
+        runner.EXPERIMENTS["table1"](MICRO)
         out = capsys.readouterr().out
         assert "owned" in out and "cached" in out
 
     def test_fig6_printer(self, capsys):
-        runner._fig6(MICRO)
+        runner.EXPERIMENTS["fig6"](MICRO)
         out = capsys.readouterr().out
         assert "util0.4" in out
         assert "smoothed-max" in out
 
     def test_fig9_printer(self, capsys):
-        runner._fig9(MICRO)
+        runner.EXPERIMENTS["fig9"](MICRO)
         out = capsys.readouterr().out
         assert "servers" in out and "latency" in out
 
     def test_heterogeneity_printer(self, capsys):
-        runner._heterogeneity(MICRO)
+        runner.EXPERIMENTS["heterogeneity"](MICRO)
         out = capsys.readouterr().out
         assert "heterogeneous-BCR" in out
 
     def test_resilience_printer(self, capsys):
-        runner._resilience(MICRO)
+        runner.EXPERIMENTS["resilience"](MICRO)
         out = capsys.readouterr().out
         assert "completion_during" in out
 
     def test_static_printer(self, capsys):
-        runner._static(MICRO)
+        runner.EXPERIMENTS["static"](MICRO)
         out = capsys.readouterr().out
         assert "adaptive" in out
 

@@ -21,7 +21,7 @@ from repro.namespace.generators import assign_nodes_to_servers
 from repro.namespace.tree import Namespace
 from repro.server.peer import Peer
 from repro.sim.engine import Engine
-from repro.sim.profile import make_engine
+from repro.sim.profile import make_engine, note_system
 from repro.sim.stats import StatsSink
 
 
@@ -119,4 +119,7 @@ def build_system(
             for s in boot_rng.sample(others, k):
                 peer.known_loads[s] = (0.0, 0.0)
 
+    # register with the profiler (no-op unless profiling is active) so
+    # per-peer routing-decision counters appear in the profile report
+    note_system(system)
     return system

@@ -95,7 +95,7 @@ def transfer_ownership(system: System, node: int, new_owner: int) -> None:
 def _drop_owned(peer: Peer, node: int) -> None:
     """Remove an owned node and its pins from ``peer``."""
     peer.owned.discard(node)
-    peer.hosted_list.remove(node)
+    peer.store.untrack_owned(node)
     peer.ranking.forget(node)
     peer.metadata._meta.pop(node, None)
     peer.metadata._data.pop(node, None)

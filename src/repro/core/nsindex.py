@@ -1,0 +1,228 @@
+"""Namespace ancestor index: O(depth) closest-member queries.
+
+The per-hop routing decision asks one question of a peer's local state
+twice (once for hosted nodes, once for the LRU cache): *which member is
+closest to the destination, breaking ties by iteration order?*  The
+scan implementations (:func:`repro.core.routing.closest_hosted`,
+:func:`repro.core.routing.scan_cache`) answer it in
+O(|members| * depth) per hop, which caps large-namespace runs.
+
+:class:`AncestorIndex` answers it in O(depth(dest)) dict probes by
+bucketing members under every node of their ancestor chain.  For a
+member ``v`` and destination ``t``, the namespace distance is
+
+    d(v, t) = depth(v) + depth(t) - 2 * lca_depth(v, t)
+
+and ``lca(v, t)`` is always on ``t``'s (precomputed) ancestor chain.
+Walking that chain deepest-first, the bucket at ancestor ``a`` (depth
+``da``) contains exactly the members with ``lca_depth(v, t) >= da``,
+and its best contribution is its minimum-depth member.  So the closest
+member overall is found by probing ``depth(t) + 1`` buckets -- the
+state size never appears in the per-hop cost.
+
+**Determinism contract.**  The scans break ties by "first member in
+iteration order at a strictly smaller distance": hosted-list position
+for the replica store, ``OrderedDict`` order (insertion order, updated
+by ``move_to_end``) for the cache.  The winner is therefore the member
+minimising the pair ``(distance, position)`` lexicographically.  The
+index reproduces this exactly by stamping every member with a
+monotonically increasing *sequence number* -- re-stamped on
+:meth:`touch`, which is precisely what ``move_to_end`` does to an
+``OrderedDict`` position -- and keeping each bucket as a lazy min-heap
+ordered by ``(depth, seq)``.  Why per-bucket ``(depth, seq)`` minima
+suffice:
+
+* within one bucket, only minimum-depth members can attain the
+  bucket's best distance (deeper members are strictly farther *at this
+  lca level*), and among those the smallest seq wins;
+* across levels, a member appears in every bucket above its true LCA
+  with an *overestimated* distance there, but the overestimate exceeds
+  its true distance by at least 2, and the deepest-first walk has
+  already absorbed the true value into the running best -- so
+  overestimates can neither win nor tie;
+* pruning is exact: a bucket at depth ``da`` can only contain members
+  at distance >= ``depth(t) - da``, so levels with
+  ``depth(t) - da > best`` can neither improve nor tie and the walk
+  stops at ``da = depth(t) - best``.
+
+Stale heap entries (from :meth:`touch` re-stamps and :meth:`remove`)
+are discarded lazily against the member table and compacted when a
+bucket's heap grows past a small multiple of its live membership, so
+all mutations stay O(depth) amortised.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+#: "no bound" initial distance, matching the scan implementations.
+NO_BOUND = 1 << 30
+
+# bucket layout: [heap of (depth, seq, node), live-member count]
+_HEAP = 0
+_LIVE = 1
+
+
+class AncestorIndex:
+    """Incrementally maintained ancestor -> candidate-bucket map.
+
+    Mirrors an ordered member collection (the hosted list or the LRU
+    cache): :meth:`add` appends at the back, :meth:`touch` moves a
+    member to the back, :meth:`remove` deletes.  :meth:`closest`
+    answers closest-member queries in O(depth(dest)).
+    """
+
+    __slots__ = ("_anc", "_depth", "_buckets", "_members", "_seq")
+
+    def __init__(self, ns, members: Iterable[int] = ()) -> None:
+        self._anc = ns.anc
+        self._depth = ns.depth
+        # namespace node id -> [heap, live count]
+        self._buckets: Dict[int, List] = {}
+        # member node id -> current (valid) sequence stamp
+        self._members: Dict[int, int] = {}
+        self._seq = 0
+        for v in members:
+            self.add(v)
+
+    # ------------------------------------------------------------------
+    # membership mirror
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._members
+
+    def nodes(self) -> Iterator[int]:
+        """Live members, in no particular order."""
+        return iter(self._members)
+
+    def add(self, node: int) -> None:
+        """Append ``node`` at the back of the mirrored order."""
+        if node in self._members:
+            raise ValueError(f"node {node} already indexed")
+        self._seq += 1
+        seq = self._seq
+        self._members[node] = seq
+        entry = (self._depth[node], seq, node)
+        buckets = self._buckets
+        for a in self._anc[node]:
+            b = buckets.get(a)
+            if b is None:
+                buckets[a] = [[entry], 1]
+            else:
+                heappush(b[_HEAP], entry)
+                b[_LIVE] += 1
+
+    def touch(self, node: int) -> None:
+        """Move ``node`` to the back of the mirrored order (LRU touch)."""
+        members = self._members
+        cur = members.get(node)
+        if cur is None:
+            return
+        if cur == self._seq:
+            # already the most recently stamped member: re-stamping
+            # cannot change relative order, so skip the heap pushes
+            # (the common case under skewed workloads -- repeated hits
+            # on the hottest entry)
+            return
+        self._seq += 1
+        seq = self._seq
+        members[node] = seq
+        entry = (self._depth[node], seq, node)
+        buckets = self._buckets
+        for a in self._anc[node]:
+            b = buckets[a]
+            heap = b[_HEAP]
+            heappush(heap, entry)
+            if len(heap) > 32 and len(heap) > 4 * b[_LIVE]:
+                self._compact(b)
+
+    def remove(self, node: int) -> None:
+        """Drop ``node`` from the index (no-op if absent)."""
+        if self._members.pop(node, None) is None:
+            return
+        buckets = self._buckets
+        for a in self._anc[node]:
+            b = buckets[a]
+            b[_LIVE] -= 1
+            if b[_LIVE] == 0:
+                del buckets[a]
+            else:
+                heap = b[_HEAP]
+                if len(heap) > 32 and len(heap) > 4 * b[_LIVE]:
+                    self._compact(b)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._members.clear()
+
+    def rebuild(self, ordered_members: Iterable[int]) -> None:
+        """Reset to exactly ``ordered_members`` in iteration order."""
+        self.clear()
+        for v in ordered_members:
+            self.add(v)
+
+    def _compact(self, b: List) -> None:
+        members = self._members
+        heap = b[_HEAP]
+        heap[:] = [e for e in heap if members.get(e[2]) == e[1]]
+        heapify(heap)
+
+    # ------------------------------------------------------------------
+    # the query
+    # ------------------------------------------------------------------
+
+    def closest(self, dest: int, best_d: int = NO_BOUND) -> Tuple[int, int]:
+        """The member strictly closer to ``dest`` than ``best_d`` that a
+        linear scan in mirrored order would pick, or ``(-1, best_d)``.
+
+        Matches the scans bit-for-bit: minimum distance first, then
+        earliest iteration-order position (see the module docstring).
+        """
+        members = self._members
+        if not members:
+            return -1, best_d
+        buckets = self._buckets
+        anc_d = self._anc[dest]
+        d_dest = len(anc_d) - 1
+        best = -1
+        best_seq = 0
+        da = d_dest
+        floor = d_dest - best_d
+        if floor < 0:
+            floor = 0
+        while da >= floor:
+            b = buckets.get(anc_d[da])
+            if b is not None:
+                heap = b[_HEAP]
+                # discard stale heads (touched or removed members)
+                while heap:
+                    top = heap[0]
+                    if members.get(top[2]) == top[1]:
+                        break
+                    heappop(heap)
+                if heap:
+                    depth_v, seq, v = heap[0]
+                    d = depth_v + d_dest - 2 * da
+                    if d < best_d:
+                        best_d = d
+                        best = v
+                        best_seq = seq
+                        floor = d_dest - best_d
+                        if floor < 0:
+                            floor = 0
+                    elif d == best_d and best >= 0 and seq < best_seq:
+                        best = v
+                        best_seq = seq
+            da -= 1
+        return best, best_d
+
+    def __repr__(self) -> str:
+        return (
+            f"AncestorIndex(members={len(self._members)}, "
+            f"buckets={len(self._buckets)})"
+        )

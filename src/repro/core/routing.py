@@ -19,8 +19,14 @@ The candidates, in the order we evaluate them:
    against known inverse-mapping digests; a hit strictly closer than
    the best candidate so far wins (section 3.6.1).
 
-The hot loop avoids allocating: distances are computed by an inlined
-ancestor-chain prefix scan against precomputed tuples.
+The candidate search is O(depth(dest)) per hop: hosted state and the
+cache each maintain an :class:`~repro.core.nsindex.AncestorIndex`, and
+:func:`decide` walks the destination's precomputed ancestor chain
+instead of scanning local state.  :func:`closest_hosted` and
+:func:`scan_cache` remain as the *reference* linear scans: they define
+the tie-breaking contract (first member in iteration order at a
+strictly smaller distance) that the index reproduces bit-for-bit, and
+the equivalence tests cross-check the two implementations.
 """
 
 from __future__ import annotations
@@ -76,6 +82,11 @@ def closest_hosted(peer, dest: int) -> Tuple[int, int]:
     """The hosted node closest to ``dest`` and its distance.
 
     Every server owns at least one node, so this always exists.
+
+    Reference implementation: :func:`decide` answers this through the
+    store's ancestor index in O(depth); this linear scan defines the
+    exact semantics (first hosted-list entry at a strictly smaller
+    distance wins) and backs the index-equivalence tests.
     """
     ns = peer.ns
     anc = ns.anc
@@ -86,8 +97,7 @@ def closest_hosted(peer, dest: int) -> Tuple[int, int]:
     best = -1
     best_d = 1 << 30
     # the store's hosted list, iterated directly: same order as
-    # iter_hosted() (owned first, then replicas) without the generator
-    # hop -- this loop runs once per processed query
+    # iter_hosted() (owned first, then replicas)
     for h in peer.store.hosted_list:
         a_h = anc[h]
         # inline prefix scan for lca depth
@@ -112,10 +122,7 @@ def structural_next(peer, h_star: int, dest: int) -> int:
     If ``h_star`` is an ancestor of ``dest`` this is the child on the
     path down to ``dest``; otherwise it is ``h_star``'s parent.
     """
-    ns = peer.ns
-    if ns.is_ancestor(h_star, dest):
-        return ns.anc[dest][ns.depth[h_star] + 1]
-    return ns.parent[h_star]
+    return peer.ns.step_toward(h_star, dest)
 
 
 def scan_cache(peer, dest: int, best_d: int) -> Tuple[int, int]:
@@ -123,6 +130,11 @@ def scan_cache(peer, dest: int, best_d: int) -> Tuple[int, int]:
 
     Returns ``(node, distance)`` or ``(-1, best_d)`` when nothing beats
     the current best.
+
+    Reference implementation: :func:`decide` answers this through the
+    cache's ancestor index in O(depth); this linear scan defines the
+    exact semantics (first entry in LRU iteration order at a strictly
+    smaller distance wins) and backs the index-equivalence tests.
     """
     cache = peer.cache
     if not len(cache):
@@ -170,17 +182,9 @@ def digest_shortcut(peer, dest: int, best_d: int) -> Tuple[int, int, int]:
     min_depth = d_dest - best_d + 1
     if min_depth > d_dest:
         return -1, -1, best_d
-    limit = peer.cfg.digest_probe_limit
-    sid = peer.sid
-    snaps = []
-    for server in ddir.servers():
-        if server == sid:
-            continue
-        snap = ddir.get(server)
-        if snap is not None:
-            snaps.append((server, snap[1]))
-            if limit and len(snaps) >= limit:
-                break
+    # version-cached eligible snapshot list: rebuilt only when the
+    # directory mutates, not once per routing decision
+    snaps = ddir.eligible_snaps(peer.sid, peer.cfg.digest_probe_limit)
     if not snaps:
         return -1, -1, best_d
     positions = ddir.reference.bloom._positions
@@ -198,7 +202,9 @@ def digest_shortcut(peer, dest: int, best_d: int) -> Tuple[int, int, int]:
 def decide(peer, dest: int) -> RouteDecision:
     """One full routing step for a query destined to ``dest`` at ``peer``."""
     if peer.hosts(dest):
-        return RouteDecision(RouteAction.RESOLVED, via=dest, source="resolved", distance=0)
+        return RouteDecision(
+            RouteAction.RESOLVED, via=dest, source="resolved", distance=0,
+        )
 
     rng = peer.rng
     sid = peer.sid
@@ -226,15 +232,24 @@ def decide(peer, dest: int) -> RouteDecision:
                 )
             peer.cache.remove(dest)
 
-    # structural candidate from the closest hosted node's context
-    h_star, d_star = closest_hosted(peer, dest)
+    # structural candidate from the closest hosted node's context --
+    # an O(depth) ancestor-chain walk (scan fallback for bare stores)
+    hidx = peer.store.index
+    if hidx is not None:
+        h_star, d_star = hidx.closest(dest)
+    else:
+        h_star, d_star = closest_hosted(peer, dest)
     via = structural_next(peer, h_star, dest)
     best_d = d_star - 1
     source = "struct"
 
-    # cache scan for anything strictly closer
+    # closest cached node, if strictly closer (same O(depth) walk)
     if peer.cache is not None:
-        cnode, cd = scan_cache(peer, dest, best_d)
+        cidx = peer.cache.index
+        if cidx is not None:
+            cnode, cd = cidx.closest(dest, best_d)
+        else:
+            cnode, cd = scan_cache(peer, dest, best_d)
         if cnode >= 0:
             via, best_d, source = cnode, cd, "cache"
 

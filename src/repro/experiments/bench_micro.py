@@ -20,6 +20,13 @@ dispatches and wall time are reported alongside for transparency.
 * ``client_load`` -- a client-driven run with lookup timeouts armed
   for every lookup: exercises the timeout path (timer-wheel vs dead
   heap entries) together with transport and routing.
+* ``routing_decide_small`` / ``routing_decide_large`` -- the routing
+  decision in isolation: ``decide()`` over a fixed random destination
+  stream against a peer with small (16 replicas / 16 cache slots) and
+  large (1,500 replicas / 2,048 cache slots) local state.  Measures
+  the per-hop candidate search (ancestor-indexed walk vs linear scans
+  over hosted + cache state); the large case is the one that gates
+  scaled-up ``fig9`` runs.
 
 The composite ``headline`` is the geometric mean of the scenario rates.
 
@@ -132,10 +139,81 @@ def bench_client_load() -> Dict[str, float]:
             "wall_s": wall, "events_per_sec": msgs / wall}
 
 
+def _routing_peer(levels: int, n_servers: int, n_replicas: int,
+                  cache_slots: int, seed: int):
+    """A peer with a controlled amount of hosted + cached routing state.
+
+    Replicas are installed through the real replica-store path (so
+    maps, pins, digests, and the ancestor index stay coherent) and the
+    cache is filled to capacity with true owner mappings.
+    """
+    ns = balanced_tree(levels=levels)
+    cfg = SystemConfig.replicated(
+        n_servers=n_servers, seed=seed, cache_slots=cache_slots
+    )
+    system = build_system(ns, cfg, stats=NullSink())
+    peer = system.peers[0]
+    rng = random.Random(seed + 1)
+    candidates = [v for v in range(len(ns)) if not peer.hosts(v)]
+    rng.shuffle(candidates)
+    installed = 0
+    for v in candidates:
+        if installed >= n_replicas:
+            break
+        payload = system.peers[system.owner[v]].build_replica_payload(v)
+        if payload is None:
+            continue
+        peer.store.install(payload, 0.0)
+        installed += 1
+    for v in candidates[-cache_slots:]:
+        if not peer.hosts(v):
+            peer.cache.put(v, [system.owner[v]])
+    # a handful of observed digests so the shortcut path is exercised
+    for s in range(1, min(n_servers, 9)):
+        peer.digest_dir.observe(s, system.peers[s].digest.snapshot())
+    return system, peer
+
+
+def _bench_routing_decide(
+    levels: int, n_replicas: int, cache_slots: int, n_queries: int
+) -> Dict[str, float]:
+    from repro.core.routing import decide
+
+    system, peer = _routing_peer(
+        levels=levels, n_servers=16, n_replicas=n_replicas,
+        cache_slots=cache_slots, seed=13,
+    )
+    rng = random.Random(17)
+    n = len(system.ns)
+    dests = [rng.randrange(n) for _ in range(n_queries)]
+    t0 = time.perf_counter()
+    for dest in dests:
+        decide(peer, dest)
+    wall = time.perf_counter() - t0
+    return {"events": n_queries, "engine_events": 0,
+            "wall_s": wall, "events_per_sec": n_queries / wall}
+
+
+def bench_routing_decide_small() -> Dict[str, float]:
+    """decide() against small local state (16 replicas, 16 cache slots)."""
+    return _bench_routing_decide(
+        levels=8, n_replicas=16, cache_slots=16, n_queries=20000
+    )
+
+
+def bench_routing_decide_large() -> Dict[str, float]:
+    """decide() against large local state (1,500 replicas, 2,048 slots)."""
+    return _bench_routing_decide(
+        levels=12, n_replicas=1500, cache_slots=2048, n_queries=1500
+    )
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "transport_chain": bench_transport_chain,
     "end_to_end": bench_end_to_end,
     "client_load": bench_client_load,
+    "routing_decide_small": bench_routing_decide_small,
+    "routing_decide_large": bench_routing_decide_large,
 }
 
 

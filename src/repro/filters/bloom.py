@@ -22,6 +22,12 @@ _MASK64 = (1 << 64) - 1
 
 Snapshot = Tuple[int, ...]
 
+try:
+    _popcount = int.bit_count  # Python >= 3.10: native popcount
+except AttributeError:  # pragma: no cover - exercised on Python 3.9
+    def _popcount(w: int) -> int:
+        return bin(w).count("1")
+
 
 def _splitmix64(x: int) -> int:
     """One splitmix64 scramble round (avalanching 64-bit mix)."""
@@ -148,17 +154,28 @@ class BloomFilter:
         return True
 
     @property
+    def set_bits(self) -> int:
+        """Number of bits currently set."""
+        return sum(map(_popcount, self.words))
+
+    @property
     def fill_ratio(self) -> float:
         """Fraction of bits set (saturation indicator)."""
-        set_bits = sum(bin(w).count("1") for w in self.words)
-        return set_bits / self.n_bits
+        return self.set_bits / self.n_bits
 
     def expected_fp_rate(self) -> float:
         """FP rate estimate from the actual fill ratio."""
         return self.fill_ratio**self.n_hashes
 
     def __or__(self, other: "BloomFilter") -> "BloomFilter":
-        """Union of two filters with identical geometry."""
+        """Union of two filters with identical geometry.
+
+        ``n_items`` counts insertions, not distinct keys, so the
+        union's count is the sum of both sides' insertion counts -- an
+        upper bound on the number of distinct keys it holds (keys added
+        to both sides are counted twice; :attr:`set_bits` /
+        :attr:`fill_ratio` reflect the true saturation).
+        """
         if (self.n_bits, self.n_hashes, self._salt) != (
             other.n_bits,
             other.n_hashes,

@@ -17,9 +17,9 @@ integer bit vector, so snapshotting never copies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.filters.bloom import BloomFilter
+from repro.filters.bloom import BloomFilter, Snapshot
 
 
 class Digest:
@@ -78,14 +78,24 @@ class DigestDirectory:
     All digests in one simulated system share Bloom geometry, so any
     :class:`Digest` instance can evaluate any snapshot; the directory
     keeps a reference digest for that purpose.
+
+    The directory is read once per routing decision but mutates only
+    when piggybacked snapshots arrive, so the eligible-snapshot list
+    the digest shortcut probes is cached and invalidated by a directory
+    version counter (bumped on every stored/forgotten snapshot).
     """
 
-    __slots__ = ("_ref", "_snaps", "max_peers")
+    __slots__ = ("_ref", "_snaps", "max_peers", "version",
+                 "_snaps_cache_key", "_snaps_cache")
 
     def __init__(self, reference: Digest, max_peers: int = 0) -> None:
         self._ref = reference
         self._snaps: Dict[int, Tuple[int, int]] = {}
         self.max_peers = max_peers  # 0 = unbounded
+        #: bumped on every mutation; keys the eligible-snapshot cache
+        self.version = 0
+        self._snaps_cache_key: Optional[Tuple[int, int, int]] = None
+        self._snaps_cache: List[Tuple[int, Snapshot]] = []
 
     def __len__(self) -> int:
         return len(self._snaps)
@@ -109,10 +119,38 @@ class DigestDirectory:
             victim = min(self._snaps, key=lambda s: self._snaps[s][0])
             del self._snaps[victim]
         self._snaps[server] = snap
+        self.version += 1
         return True
 
     def forget(self, server: int) -> None:
-        self._snaps.pop(server, None)
+        if self._snaps.pop(server, None) is not None:
+            self.version += 1
+
+    def eligible_snaps(
+        self, exclude: int, limit: int = 0
+    ) -> List[Tuple[int, Snapshot]]:
+        """The ``(server, words)`` list the digest shortcut probes.
+
+        Directory iteration order, skipping ``exclude``, truncated to
+        the first ``limit`` entries (0 = unbounded) -- identical to the
+        inline loop it replaces.  The list is cached until the
+        directory's :attr:`version` moves (or the probe parameters
+        change), so steady-state routing decisions reuse one list
+        instead of re-materialising it per hop.
+        """
+        key = (self.version, exclude, limit)
+        if key == self._snaps_cache_key:
+            return self._snaps_cache
+        out: List[Tuple[int, Snapshot]] = []
+        for server, snap in self._snaps.items():
+            if server == exclude:
+                continue
+            out.append((server, snap[1]))
+            if limit and len(out) >= limit:
+                break
+        self._snaps_cache_key = key
+        self._snaps_cache = out
+        return out
 
     def get(self, server: int) -> Optional[Tuple[int, int]]:
         return self._snaps.get(server)

@@ -211,6 +211,24 @@ class Namespace:
         da = self.depth[a]
         return da < len(ab) and ab[da] == a
 
+    def step_toward(self, a: int, b: int) -> int:
+        """The neighbor of ``a`` one namespace hop closer to ``b``.
+
+        The child on the path down to ``b`` when ``a`` is an ancestor
+        of ``b``, otherwise ``a``'s parent (the up-then-down geodesic
+        of :meth:`route_path`, taken one step at a time).
+
+        Raises:
+            ValueError: if ``a == b`` (there is no step to take).
+        """
+        if a == b:
+            raise ValueError(f"no step from node {a} toward itself")
+        ab = self.anc[b]
+        da = self.depth[a]
+        if da < len(ab) and ab[da] == a:
+            return ab[da + 1]
+        return self.parent[a]
+
     def route_path(self, src: int, dst: int) -> List[int]:
         """The canonical up-then-down node path from ``src`` to ``dst``.
 

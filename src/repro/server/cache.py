@@ -6,12 +6,21 @@ routing context -- a hit cannot resolve a query by itself, it only
 supplies a shortcut pointer.  Entries are replaced LRU, touched
 whenever used in routing, and populated by *path propagation*: every
 server along a query's path caches the path walked so far.
+
+When an :class:`~repro.core.nsindex.AncestorIndex` is attached, every
+membership/order mutation is mirrored into it, so the routing hot path
+can find the closest cached node in O(depth) instead of scanning the
+whole cache.  The index mirrors the ``OrderedDict`` order exactly:
+inserts append at the back, ``get``/``touch``/merging ``put`` move to
+the back, LRU eviction drops the front.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.nsindex import AncestorIndex
 
 
 class LRUCache:
@@ -23,9 +32,15 @@ class LRUCache:
     True
     """
 
-    __slots__ = ("capacity", "rmap", "_entries", "hits", "misses", "evictions")
+    __slots__ = ("capacity", "rmap", "_entries", "hits", "misses",
+                 "evictions", "index")
 
-    def __init__(self, capacity: int, rmap: int = 4) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        rmap: int = 4,
+        index: Optional[AncestorIndex] = None,
+    ) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         if rmap < 1:
@@ -36,6 +51,7 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.index = index
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,6 +77,8 @@ class LRUCache:
             self.misses += 1
             return None
         self._entries.move_to_end(node)
+        if self.index is not None:
+            self.index.touch(node)
         self.hits += 1
         return entry
 
@@ -68,6 +86,8 @@ class LRUCache:
         """Mark as most-recently-used (an entry 'used in routing')."""
         if node in self._entries:
             self._entries.move_to_end(node)
+            if self.index is not None:
+                self.index.touch(node)
 
     def put(self, node: int, servers: Sequence[int]) -> None:
         """Insert or extend an entry (union, bounded by ``rmap``).
@@ -83,6 +103,8 @@ class LRUCache:
                 if s not in cur and len(cur) < self.rmap:
                     cur.append(s)
             self._entries.move_to_end(node)
+            if self.index is not None:
+                self.index.touch(node)
             return
         entry: List[int] = []
         for s in servers:
@@ -91,21 +113,35 @@ class LRUCache:
         if not entry:
             return
         if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            victim, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            if self.index is not None:
+                self.index.remove(victim)
         self._entries[node] = entry
+        if self.index is not None:
+            self.index.add(node)
 
     def replace(self, node: int, servers: List[int]) -> None:
-        """Overwrite an entry's map in place (post-merge/filter update)."""
+        """Overwrite an entry's map in place (post-merge/filter update).
+
+        Keeps the entry's LRU position (this is a content update, not a
+        use), so the attached index needs no order change either.
+        """
         if node in self._entries:
             if servers:
                 self._entries[node] = servers[: self.rmap]
             else:
                 del self._entries[node]
+                if self.index is not None:
+                    self.index.remove(node)
 
     def remove(self, node: int) -> bool:
         """Drop an entry (e.g. it proved stale); True if present."""
-        return self._entries.pop(node, None) is not None
+        if self._entries.pop(node, None) is None:
+            return False
+        if self.index is not None:
+            self.index.remove(node)
+        return True
 
     def remove_server(self, node: int, server: int) -> None:
         """Drop one stale server from an entry, dropping the entry if emptied."""
@@ -118,9 +154,13 @@ class LRUCache:
             return
         if not entry:
             del self._entries[node]
+            if self.index is not None:
+                self.index.remove(node)
 
     def clear(self) -> None:
         self._entries.clear()
+        if self.index is not None:
+            self.index.clear()
 
     @property
     def hit_rate(self) -> float:

@@ -1,8 +1,9 @@
 """Replica lifecycle for one peer: install, evict, snapshot, advertise.
 
 Owns the replica table, the hosted-node list (owned first, then
-replicas -- the order :func:`repro.core.routing.closest_hosted`
-iterates), and the per-node record of recently created replicas used
+replicas -- the candidate order of the routing tie-break), the
+ancestor index mirroring that list for O(depth) closest-hosted
+queries, and the per-node record of recently created replicas used
 for advertisement piggybacking.  Shared peer state (maps, pins, cache,
 digest, ranking) is reached through the composing
 :class:`~repro.server.peer.Peer`, which remains the single owner of
@@ -15,6 +16,7 @@ from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.core.maps import merge_maps
+from repro.core.nsindex import AncestorIndex
 from repro.namespace.meta import NodeMeta
 from repro.net.message import ReplicaPayload
 
@@ -43,13 +45,17 @@ class Replica:
 class ReplicaStore:
     """Replica lifecycle and source-side replication bookkeeping."""
 
-    __slots__ = ("peer", "replicas", "hosted_list", "adverts_recent")
+    __slots__ = ("peer", "replicas", "hosted_list", "adverts_recent", "index")
 
     def __init__(self, peer) -> None:
         self.peer = peer
         self.replicas: Dict[int, Replica] = {}
         self.hosted_list: List[int] = list(peer.owned)
         self.adverts_recent: Dict[int, Deque[int]] = {}
+        # ancestor index over the hosted list, kept in lock-step with it
+        # (same membership, seq order == list order) so routing finds
+        # the closest hosted node in O(depth) instead of a full scan
+        self.index = AncestorIndex(peer.ns, self.hosted_list)
 
     # ------------------------------------------------------------------
     # hosting state
@@ -62,6 +68,17 @@ class ReplicaStore:
     def track_owned(self, node: int) -> None:
         """Record a newly adopted owned node in the hosted list."""
         self.hosted_list.append(node)
+        self.index.add(node)
+
+    def untrack_owned(self, node: int) -> None:
+        """Drop an owned node from the hosted list (ownership transfer).
+
+        The counterpart of :meth:`track_owned`; replica hosting ends via
+        :meth:`evict`.  All hosted-list membership changes must go
+        through the store so the ancestor index stays in sync.
+        """
+        self.hosted_list.remove(node)
+        self.index.remove(node)
 
     def touch(self, node: int, now: float) -> None:
         """Refresh a replica's last-used time (if one exists)."""
@@ -80,6 +97,7 @@ class ReplicaStore:
         self.replicas[node] = Replica(payload.meta_version, now,
                                       meta=payload.meta)
         self.hosted_list.append(node)
+        self.index.add(node)
         peer.ranking.track(node)
         entry = peer.maps.get(node)
         merged = merge_maps(
@@ -102,6 +120,7 @@ class ReplicaStore:
         if rep is None:
             return
         self.hosted_list.remove(node)
+        self.index.remove(node)
         peer.ranking.forget(node)
         for nbr in peer.ns.neighbors(node):
             peer.unpin(nbr)

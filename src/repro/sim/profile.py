@@ -42,14 +42,17 @@ __all__ = [
     "disable",
     "reset",
     "make_engine",
+    "note_system",
     "engines",
     "aggregate",
+    "decision_counts",
     "render_report",
     "main",
 ]
 
 _ACTIVE = False
 _ENGINES: List["ProfiledEngine"] = []
+_SYSTEMS: List = []
 
 
 class ProfiledEngine(Engine):
@@ -133,8 +136,9 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Forget every engine registered so far (keeps the on/off state)."""
+    """Forget every engine/system registered so far (keeps on/off state)."""
     _ENGINES.clear()
+    _SYSTEMS.clear()
 
 
 def make_engine() -> Engine:
@@ -144,6 +148,16 @@ def make_engine() -> Engine:
     eng = ProfiledEngine()
     _ENGINES.append(eng)
     return eng
+
+
+def note_system(system) -> None:
+    """Register a built system so its per-peer routing-decision counters
+    (resolved/direct/struct/cache/digest/fail) appear in the report.
+
+    No-op unless profiling is enabled; called by ``build_system``.
+    """
+    if _ACTIVE:
+        _SYSTEMS.append(system)
 
 
 def engines() -> List[ProfiledEngine]:
@@ -176,6 +190,24 @@ def aggregate(
     return merged, n_events, wall
 
 
+def decision_counts(systems: Optional[List] = None) -> Dict[str, int]:
+    """Routing decisions by winning candidate class, across systems.
+
+    Sums the always-on per-peer counters
+    (:attr:`repro.server.routing_core.RoutingCore.decisions`) over
+    every registered system's peers, so profile runs show *which*
+    candidate class (resolved/direct/struct/cache/digest) carries the
+    routing load -- cache/digest shares are where ancestor-index and
+    snapshot-cache wins surface.
+    """
+    merged: Dict[str, int] = {}
+    for system in (_SYSTEMS if systems is None else systems):
+        for p in system.peers:
+            for k, v in p.router.decisions.items():
+                merged[k] = merged.get(k, 0) + v
+    return merged
+
+
 def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
     """The per-handler table, sorted by cumulative time."""
     merged, n_events, wall = aggregate(engs)
@@ -203,6 +235,14 @@ def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
         f"-> {rate:,.0f} events/sec "
         f"({len(engs if engs is not None else _ENGINES)} engine(s))"
     )
+    decisions = decision_counts()
+    total_dec = sum(decisions.values())
+    if total_dec:
+        lines.append("routing decisions by candidate class:")
+        for key in ("resolved", "direct", "struct", "cache", "digest",
+                    "fail"):
+            cnt = decisions.get(key, 0)
+            lines.append(f"  {key:<10} {cnt:>10} {cnt / total_dec:>7.1%}")
     return "\n".join(lines)
 
 

@@ -126,3 +126,31 @@ class TestDiagnostics:
             BloomFilter(0, 3)
         with pytest.raises(ValueError):
             BloomFilter(64, 0)
+
+
+class TestBitCounts:
+    def test_set_bits_counts_ones(self):
+        bf = BloomFilter(128, 3, salt=1)
+        assert bf.set_bits == 0
+        bf.add(42)
+        assert 0 < bf.set_bits <= 3
+        assert bf.fill_ratio == bf.set_bits / bf.n_bits
+
+    def test_fill_ratio_from_words_not_items(self):
+        """fill_ratio reflects distinct set bits, so re-adding the same
+        key (which double-counts n_items) cannot inflate it."""
+        bf = BloomFilter(128, 3, salt=1)
+        bf.add(7)
+        ratio = bf.fill_ratio
+        bf.add(7)
+        assert bf.n_items == 2  # insertion count, not distinct keys
+        assert bf.fill_ratio == ratio
+
+    def test_union_n_items_is_upper_bound(self):
+        a = BloomFilter(128, 3, salt=1)
+        b = BloomFilter(128, 3, salt=1)
+        a.add(5)
+        b.add(5)  # same key on both sides
+        u = a | b
+        assert u.n_items == 2  # documented upper bound on distinct keys
+        assert u.set_bits == a.set_bits  # identical bit pattern

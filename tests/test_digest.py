@@ -111,3 +111,64 @@ class TestDirectory:
         assert ddir.test(1, 5) is True  # directory is (acceptably) stale
         ddir.observe(1, d1.snapshot())  # fresh snapshot corrects it
         assert ddir.test(1, 5) is False
+
+
+class TestEligibleSnaps:
+    def test_matches_directory_iteration(self, digests):
+        ref, d1, d2 = digests
+        ddir = DigestDirectory(ref)
+        d1.add(1)
+        d2.add(2)
+        ddir.observe(1, d1.snapshot())
+        ddir.observe(2, d2.snapshot())
+        snaps = ddir.eligible_snaps(exclude=99)
+        assert [s for s, _ in snaps] == [1, 2]
+        assert snaps[0][1] == ddir.get(1)[1]
+
+    def test_excludes_and_limits(self, digests):
+        ref, d1, d2 = digests
+        ddir = DigestDirectory(ref)
+        ddir.observe(1, d1.snapshot())
+        ddir.observe(2, d2.snapshot())
+        assert [s for s, _ in ddir.eligible_snaps(exclude=1)] == [2]
+        assert [s for s, _ in ddir.eligible_snaps(99, limit=1)] == [1]
+
+    def test_cached_until_version_moves(self, digests):
+        ref, d1, d2 = digests
+        ddir = DigestDirectory(ref)
+        d1.add(1)
+        ddir.observe(1, d1.snapshot())
+        first = ddir.eligible_snaps(99)
+        assert ddir.eligible_snaps(99) is first  # cache hit
+        d2.add(2)
+        ddir.observe(2, d2.snapshot())  # mutation bumps version
+        second = ddir.eligible_snaps(99)
+        assert second is not first
+        assert [s for s, _ in second] == [1, 2]
+
+    def test_cache_keyed_on_parameters(self, digests):
+        ref, d1, _ = digests
+        ddir = DigestDirectory(ref)
+        ddir.observe(1, d1.snapshot())
+        assert ddir.eligible_snaps(1) == []
+        assert [s for s, _ in ddir.eligible_snaps(0)] == [1]
+
+    def test_rejected_observation_keeps_cache(self, digests):
+        ref, d1, _ = digests
+        ddir = DigestDirectory(ref)
+        d1.add(1)
+        new = d1.snapshot()
+        ddir.observe(1, new)
+        first = ddir.eligible_snaps(99)
+        assert not ddir.observe(1, (0, new[1]))  # stale: rejected
+        assert ddir.eligible_snaps(99) is first  # version unmoved
+
+    def test_forget_invalidates(self, digests):
+        ref, d1, _ = digests
+        ddir = DigestDirectory(ref)
+        ddir.observe(1, d1.snapshot())
+        first = ddir.eligible_snaps(99)
+        ddir.forget(1)
+        assert ddir.eligible_snaps(99) == []
+        ddir.forget(1)  # absent: version must not move spuriously
+        assert first == [(1, d1.snapshot()[1])]

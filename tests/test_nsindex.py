@@ -1,0 +1,292 @@
+"""Unit and property tests for the ancestor index.
+
+The index must reproduce the linear-scan routing semantics *exactly*:
+the winner is the first member in mirrored order at a strictly smaller
+distance (``repro.core.routing.closest_hosted`` / ``scan_cache`` are
+the reference implementations).  These tests pin the contract three
+ways: direct unit tests, randomized cross-checks against an explicit
+ordered-list scan, and end-of-workload equivalence on live peers.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.builder import build_system
+from repro.cluster.config import SystemConfig
+from repro.core.nsindex import NO_BOUND, AncestorIndex
+from repro.core.routing import RouteAction, closest_hosted, decide, scan_cache
+from repro.namespace.generators import balanced_tree, university_tree
+from repro.workload.arrivals import WorkloadDriver
+from repro.workload.streams import cuzipf_stream
+
+
+def ref_closest(ns, order, dest, best_d=NO_BOUND):
+    """The scan the index must agree with: first member in ``order``
+    at a strictly smaller distance."""
+    best = -1
+    for v in order:
+        d = ns.distance(v, dest)
+        if d < best_d:
+            best, best_d = v, d
+    return best, best_d
+
+
+@pytest.fixture(scope="module")
+def ns():
+    return balanced_tree(levels=5)
+
+
+class TestBasics:
+    def test_empty(self, ns):
+        idx = AncestorIndex(ns)
+        assert len(idx) == 0
+        assert 3 not in idx
+        assert idx.closest(3) == (-1, NO_BOUND)
+
+    def test_add_and_query(self, ns):
+        idx = AncestorIndex(ns)
+        idx.add(0)
+        assert 0 in idx
+        assert len(idx) == 1
+        node, d = idx.closest(0)
+        assert (node, d) == (0, 0)
+
+    def test_duplicate_add_rejected(self, ns):
+        idx = AncestorIndex(ns)
+        idx.add(5)
+        with pytest.raises(ValueError):
+            idx.add(5)
+
+    def test_remove_is_idempotent(self, ns):
+        idx = AncestorIndex(ns)
+        idx.add(5)
+        idx.remove(5)
+        assert 5 not in idx
+        idx.remove(5)  # absent: no-op
+        assert len(idx) == 0
+        assert idx.closest(5) == (-1, NO_BOUND)
+
+    def test_touch_absent_is_noop(self, ns):
+        idx = AncestorIndex(ns)
+        idx.touch(7)
+        assert len(idx) == 0
+
+    def test_seed_members_in_order(self, ns):
+        idx = AncestorIndex(ns, [4, 2, 9])
+        assert sorted(idx.nodes()) == [2, 4, 9]
+        assert len(idx) == 3
+
+    def test_clear_and_rebuild(self, ns):
+        idx = AncestorIndex(ns, [1, 2, 3])
+        idx.clear()
+        assert len(idx) == 0
+        idx.rebuild([7, 8])
+        assert sorted(idx.nodes()) == [7, 8]
+
+    def test_bound_prunes(self, ns):
+        """A caller-supplied bound is a strict-improvement filter."""
+        idx = AncestorIndex(ns)
+        idx.add(0)  # the root: distance to any node == its depth
+        dest = len(ns) - 1  # a leaf
+        d = ns.depth[dest]
+        assert idx.closest(dest, d + 1) == (0, d)
+        assert idx.closest(dest, d) == (-1, d)  # not strictly closer
+
+
+class TestOrderTieBreak:
+    """Equal distance: the *earlier* member in mirrored order wins."""
+
+    def sibling_pair(self, ns):
+        """Two children of the root: equidistant from each other's
+        subtrees' destinations when probed from outside."""
+        kids = ns.children[0]
+        assert len(kids) >= 2
+        return kids[0], kids[1]
+
+    def test_first_added_wins_tie(self, ns):
+        a, b = self.sibling_pair(ns)
+        idx = AncestorIndex(ns, [a, b])
+        node, _ = idx.closest(0)
+        assert node == a
+        idx2 = AncestorIndex(ns, [b, a])
+        node2, _ = idx2.closest(0)
+        assert node2 == b
+
+    def test_touch_moves_to_back(self, ns):
+        a, b = self.sibling_pair(ns)
+        idx = AncestorIndex(ns, [a, b])
+        idx.touch(a)  # order is now [b, a]
+        node, _ = idx.closest(0)
+        assert node == b
+
+    def test_touch_of_last_is_noop(self, ns):
+        a, b = self.sibling_pair(ns)
+        idx = AncestorIndex(ns, [a, b])
+        idx.touch(b)  # already last: order unchanged
+        node, _ = idx.closest(0)
+        assert node == a
+
+    def test_readd_after_remove_goes_to_back(self, ns):
+        a, b = self.sibling_pair(ns)
+        idx = AncestorIndex(ns, [a, b])
+        idx.remove(a)
+        idx.add(a)  # order is now [b, a]
+        node, _ = idx.closest(0)
+        assert node == b
+
+
+class _OrderMirror:
+    """An ordered list driven by the same op stream as the index."""
+
+    def __init__(self):
+        self.order = []
+
+    def add(self, v):
+        self.order.append(v)
+
+    def touch(self, v):
+        if v in self.order:
+            self.order.remove(v)
+            self.order.append(v)
+
+    def remove(self, v):
+        if v in self.order:
+            self.order.remove(v)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["add", "touch", "remove"]),
+                          st.integers(0, 62)),
+                max_size=120),
+       st.integers(0, 2**32 - 1))
+def test_index_matches_reference_scan(ops, seed):
+    """Randomized op sequences: every (dest, bound) query agrees with
+    the explicit ordered-list scan."""
+    ns = balanced_tree(levels=5)  # 63 nodes
+    idx = AncestorIndex(ns)
+    ref = _OrderMirror()
+    for op, v in ops:
+        if op == "add":
+            if v in idx:
+                idx.touch(v)
+                ref.touch(v)
+            else:
+                idx.add(v)
+                ref.add(v)
+        elif op == "touch":
+            idx.touch(v)
+            ref.touch(v)
+        else:
+            idx.remove(v)
+            ref.remove(v)
+    assert sorted(idx.nodes()) == sorted(ref.order)
+    rng = random.Random(seed)
+    for _ in range(20):
+        dest = rng.randrange(len(ns))
+        bound = rng.choice([NO_BOUND, rng.randrange(1, 12)])
+        assert idx.closest(dest, bound) == ref_closest(
+            ns, ref.order, dest, bound)
+
+
+class TestLiveEquivalence:
+    """After a real workload, the store and cache indexes answer
+    exactly what the reference scans answer, on every peer."""
+
+    def test_index_vs_scan_after_workload(self):
+        ns = balanced_tree(levels=6)
+        cfg = SystemConfig.replicated(n_servers=4, seed=11, cache_slots=8)
+        system = build_system(ns, cfg)
+        spec = cuzipf_stream(rate=200.0, alpha=1.0, warmup=1.0,
+                             phase=1.0, n_phases=2, seed=11)
+        WorkloadDriver(system, spec).start()
+        system.run_until(spec.duration + 1.0)
+        rng = random.Random(3)
+        dests = [rng.randrange(len(ns)) for _ in range(200)]
+        for peer in system.peers:
+            assert sorted(peer.store.index.nodes()) == sorted(
+                peer.hosted_list)
+            assert sorted(peer.cache.index.nodes()) == sorted(
+                peer.cache.nodes())
+            for dest in dests:
+                if not peer.hosts(dest):
+                    # decide() only consults the index for non-hosted
+                    # dests; closest_hosted's d==1 early-break makes the
+                    # two legitimately differ when dest itself is hosted
+                    assert peer.store.index.closest(dest) == (
+                        closest_hosted(peer, dest))
+                for bound in (NO_BOUND, 1, 2, 4):
+                    assert peer.cache.index.closest(dest, bound) == (
+                        scan_cache(peer, dest, bound))
+
+
+def uni_system(**cfg_over):
+    ns = university_tree()
+    defaults = dict(n_servers=len(ns), seed=1, bootstrap_known_peers=0,
+                    digests_enabled=False)
+    defaults.update(cfg_over)
+    cfg = SystemConfig.replicated(**defaults)
+    owner = list(range(len(ns)))
+    return ns, build_system(ns, cfg, owner=owner)
+
+
+class TestDecideGolden:
+    """Tie-break precedence of decide(): struct vs cache vs LRU order."""
+
+    def test_cache_needs_strict_improvement(self):
+        """A cached node at the same distance as the structural
+        candidate does NOT win: cache requires strictly closer."""
+        ns, system = uni_system()
+        src = ns.id_of("/university/public/people/students")
+        dst = ns.id_of("/university/private")
+        peer = system.peers[src]
+        base = decide(peer, dst)
+        assert base.source == "struct"
+        # cache a node at exactly the structural candidate's distance
+        same_d = ns.id_of("/university/public/people")
+        assert ns.distance(same_d, dst) == base.distance
+        peer.cache.put(same_d, [system.owner[same_d]])
+        d = decide(peer, dst)
+        assert (d.source, d.via) == ("struct", base.via)
+
+    def test_cache_wins_when_strictly_closer(self):
+        ns, system = uni_system()
+        src = ns.id_of("/university/public/people/students")
+        dst = ns.id_of("/university/private")
+        peer = system.peers[src]
+        closer = ns.id_of("/university")
+        peer.cache.put(closer, [system.owner[closer]])
+        d = decide(peer, dst)
+        assert (d.source, d.via) == ("cache", closer)
+
+    def test_lru_order_breaks_cache_ties(self):
+        """Two equidistant cache entries: LRU iteration order decides,
+        and a touch (cache hit) flips it."""
+        ns, system = uni_system()
+        src = ns.id_of("/university/public/people/students")
+        dst = ns.id_of("/university/private/people/staff/Ann")
+        peer = system.peers[src]
+        a = ns.id_of("/university/private/people")
+        b = ns.id_of("/university/private/people/staff/Mary")
+        assert ns.distance(a, dst) == ns.distance(b, dst)
+        peer.cache.put(a, [system.owner[a]])
+        peer.cache.put(b, [system.owner[b]])
+        assert decide(peer, dst).via == a  # a is earlier in LRU order
+        peer.cache.get(a)  # LRU touch: order becomes [b, a]
+        assert decide(peer, dst).via == b
+
+    def test_dead_cache_entry_falls_back_to_struct(self):
+        """A winning cache entry whose map dead-ends is dropped and the
+        structural candidate is re-used."""
+        ns, system = uni_system()
+        src = ns.id_of("/university/public/people/students")
+        dst = ns.id_of("/university/private")
+        peer = system.peers[src]
+        closer = ns.id_of("/university")
+        peer.cache.put(closer, [peer.sid])  # only ourselves: dead
+        d = decide(peer, dst)
+        assert d.action is RouteAction.FORWARD
+        assert d.source == "struct"
+        assert closer not in list(peer.cache.nodes())  # entry dropped

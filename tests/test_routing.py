@@ -168,22 +168,14 @@ class TestDigestShortcuts:
         ns, system = uni_system(caching_enabled=True)
         s = system.peers[ns.id_of("/university/public/people/faculty")]
         john = ns.id_of("/university/public/people/students/John")
-        s.owned.add(john)  # S hosts both nodes, as in the figure
-        s.hosted_list.append(john)
-        s.ranking.track(john)
-        s.maps.setdefault(john, [s.sid])
-        s.digest.add(john)
+        s.adopt_node(john)  # S hosts both nodes, as in the figure
 
         # S_d hosts /university/public (plus Steve, whose map S caches)
         pub = ns.id_of("/university/public")
         steve = ns.id_of("/university/public/people/students/Steve")
         s_d = system.peers[ns.id_of("/university/private/people/staff/Mary")]
         for node in (pub, steve):
-            s_d.owned.add(node)
-            s_d.hosted_list.append(node)
-            s_d.ranking.track(node)
-            s_d.maps.setdefault(node, [s_d.sid])
-            s_d.digest.add(node)
+            s_d.adopt_node(node)
         s.cache.put(steve, [s_d.sid])
         s.digest_dir.observe(s_d.sid, s_d.digest.snapshot())
 

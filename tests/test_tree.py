@@ -172,3 +172,28 @@ class TestValidation:
     def test_rootless_rejected(self):
         with pytest.raises(ValueError):
             Namespace(parent=[], label=[], children=[])
+
+
+class TestStepToward:
+    def test_descends_to_child_on_path(self, small):
+        ns, ids = small
+        assert ns.step_toward(ids["a"], ids["x"]) == ids["x"]
+        assert ns.step_toward(ROOT, ids["z"]) == ids["b"]
+
+    def test_climbs_to_parent_otherwise(self, small):
+        ns, ids = small
+        assert ns.step_toward(ids["x"], ids["y"]) == ids["a"]
+        assert ns.step_toward(ids["z"], ids["x"]) == ids["b"]
+
+    def test_rejects_self(self, small):
+        ns, ids = small
+        with pytest.raises(ValueError):
+            ns.step_toward(ids["x"], ids["x"])
+
+    def test_walk_terminates_at_dest(self, small):
+        ns, ids = small
+        v, hops = ids["x"], 0
+        while v != ids["z"]:
+            v = ns.step_toward(v, ids["z"])
+            hops += 1
+        assert hops == ns.distance(ids["x"], ids["z"])

@@ -11,6 +11,7 @@
 #   make outputs      the canonical test_output.txt / bench_output.txt pair
 #   make profile      run fig3 under the event-loop profiler
 #   make bench-micro  hot-path events/sec vs the committed BENCH_micro.json
+#   make mem          build both 10^6-node namespaces under the 2 GB RSS budget
 
 PYTHON ?= python
 PROFILE_FIGS ?= fig3
@@ -42,8 +43,11 @@ profile:
 bench-micro:
 	$(PYTHON) -m repro bench-micro --out bench_micro.json --check BENCH_micro.json
 
+mem:
+	$(PYTHON) -m repro mem-smoke
+
 outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro
+.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem

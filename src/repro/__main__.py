@@ -8,7 +8,10 @@
 * ``python -m repro profile <fig> [...]`` -- the same experiments under
   the event-loop profiler (see :mod:`repro.sim.profile`);
 * ``python -m repro bench-micro [--out F] [--check BASELINE]`` -- the
-  NullSink micro-benchmark (see :mod:`repro.experiments.bench_micro`).
+  NullSink micro-benchmark (see :mod:`repro.experiments.bench_micro`);
+* ``python -m repro mem-smoke [--nodes N] [--budget-mb MB]`` -- the
+  million-node namespace build smoke under an RSS budget
+  (see :mod:`repro.experiments.mem_smoke`).
 """
 
 import sys
@@ -27,6 +30,10 @@ def main(argv) -> int:
         from repro.experiments.bench_micro import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "mem-smoke":
+        from repro.experiments.mem_smoke import main as mem_main
+
+        return mem_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     runner_main(argv)

@@ -13,6 +13,7 @@ Maps are stored as plain ``list[int]`` on the hot path; the
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Iterable, List, Optional, Sequence
 
 
@@ -102,7 +103,9 @@ class NodeMap:
             raise ValueError("rmap must be >= 1")
         self.node = node
         self.rmap = rmap
-        self._servers: List[int] = []
+        # bounded (<= rmap) and int-only: a C int array, not a list of
+        # boxed ints
+        self._servers = array("i")
         for s in servers:
             self.add(s)
 
@@ -151,8 +154,8 @@ class NodeMap:
         rng: random.Random,
         advertised: Sequence[int] = (),
     ) -> None:
-        self._servers = merge_maps(
-            self._servers, incoming, self.rmap, rng, advertised
+        self._servers = array(
+            "i", merge_maps(self._servers, incoming, self.rmap, rng, advertised)
         )
 
     def filter(self, keep_predicate) -> int:
@@ -164,7 +167,9 @@ class NodeMap:
         modulo digest staleness).
         """
         before = len(self._servers)
-        self._servers = [s for s in self._servers if keep_predicate(s)]
+        self._servers = array(
+            "i", [s for s in self._servers if keep_predicate(s)]
+        )
         return before - len(self._servers)
 
     def select(
@@ -173,4 +178,4 @@ class NodeMap:
         return select_host(self._servers, rng, exclude)
 
     def __repr__(self) -> str:
-        return f"NodeMap(node={self.node}, servers={self._servers})"
+        return f"NodeMap(node={self.node}, servers={list(self._servers)})"

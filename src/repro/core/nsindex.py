@@ -49,6 +49,16 @@ Stale heap entries (from :meth:`touch` re-stamps and :meth:`remove`)
 are discarded lazily against the member table and compacted when a
 bucket's heap grows past a small multiple of its live membership, so
 all mutations stay O(depth) amortised.
+
+**Memory.**  Deep in the tree most ancestors index exactly one member
+(a member's near-ancestors are rarely shared), so single-member
+buckets are stored as the bare entry tuple ``(depth, seq, node)``
+instead of the general ``[heap, live]`` pair -- two fewer container
+objects per bucket.  A tuple bucket is always live and current:
+:meth:`touch` replaces it in place and :meth:`remove` deletes the
+key, so the query path needs no staleness check for it.  At the
+million-node scale this representation carries the bulk of the
+index's buckets (DESIGN.md section 11).
 """
 
 from __future__ import annotations
@@ -59,7 +69,11 @@ from typing import Dict, Iterable, Iterator, List, Tuple
 #: "no bound" initial distance, matching the scan implementations.
 NO_BOUND = 1 << 30
 
-# bucket layout: [heap of (depth, seq, node), live-member count]
+# bucket layout, two representations keyed by type:
+#   tuple          -- a single live member's entry (depth, seq, node);
+#                     never stale (touch replaces, remove deletes)
+#   [heap, live]   -- general form: lazy min-heap of entry tuples plus
+#                     the live-member count
 _HEAP = 0
 _LIVE = 1
 
@@ -73,10 +87,14 @@ class AncestorIndex:
     answers closest-member queries in O(depth(dest)).
     """
 
-    __slots__ = ("_anc", "_depth", "_buckets", "_members", "_seq")
+    __slots__ = ("_arena", "_off", "_depth", "_buckets", "_members", "_seq")
 
     def __init__(self, ns, members: Iterable[int] = ()) -> None:
-        self._anc = ns.anc
+        # ancestor chains are read straight out of the namespace's flat
+        # arena (chain v = _arena[_off[v]:_off[v + 1]]): no per-chain
+        # slice objects on the per-hop path
+        self._arena = ns.anc_arena
+        self._off = ns.anc_off
         self._depth = ns.depth
         # namespace node id -> [heap, live count]
         self._buckets: Dict[int, List] = {}
@@ -109,10 +127,16 @@ class AncestorIndex:
         self._members[node] = seq
         entry = (self._depth[node], seq, node)
         buckets = self._buckets
-        for a in self._anc[node]:
+        arena = self._arena
+        for i in range(self._off[node], self._off[node + 1]):
+            a = arena[i]
             b = buckets.get(a)
             if b is None:
-                buckets[a] = [[entry], 1]
+                buckets[a] = entry
+            elif type(b) is tuple:
+                heap = [b]
+                heappush(heap, entry)
+                buckets[a] = [heap, 2]
             else:
                 heappush(b[_HEAP], entry)
                 b[_LIVE] += 1
@@ -134,27 +158,39 @@ class AncestorIndex:
         members[node] = seq
         entry = (self._depth[node], seq, node)
         buckets = self._buckets
-        for a in self._anc[node]:
+        arena = self._arena
+        for i in range(self._off[node], self._off[node + 1]):
+            a = arena[i]
             b = buckets[a]
+            if type(b) is tuple:
+                # the bucket's only live member is ``node`` itself:
+                # replace the entry in place, nothing goes stale
+                buckets[a] = entry
+                continue
             heap = b[_HEAP]
             heappush(heap, entry)
             if len(heap) > 32 and len(heap) > 4 * b[_LIVE]:
-                self._compact(b)
+                self._compact(a, b)
 
     def remove(self, node: int) -> None:
         """Drop ``node`` from the index (no-op if absent)."""
         if self._members.pop(node, None) is None:
             return
         buckets = self._buckets
-        for a in self._anc[node]:
+        arena = self._arena
+        for i in range(self._off[node], self._off[node + 1]):
+            a = arena[i]
             b = buckets[a]
+            if type(b) is tuple:
+                del buckets[a]
+                continue
             b[_LIVE] -= 1
             if b[_LIVE] == 0:
                 del buckets[a]
             else:
                 heap = b[_HEAP]
                 if len(heap) > 32 and len(heap) > 4 * b[_LIVE]:
-                    self._compact(b)
+                    self._compact(a, b)
 
     def clear(self) -> None:
         self._buckets.clear()
@@ -166,11 +202,16 @@ class AncestorIndex:
         for v in ordered_members:
             self.add(v)
 
-    def _compact(self, b: List) -> None:
+    def _compact(self, a: int, b: List) -> None:
         members = self._members
         heap = b[_HEAP]
         heap[:] = [e for e in heap if members.get(e[2]) == e[1]]
-        heapify(heap)
+        if len(heap) == 1:
+            # shrunk back to a single live member: demote to the
+            # compact tuple representation
+            self._buckets[a] = heap[0]
+        else:
+            heapify(heap)
 
     # ------------------------------------------------------------------
     # the query
@@ -187,8 +228,9 @@ class AncestorIndex:
         if not members:
             return -1, best_d
         buckets = self._buckets
-        anc_d = self._anc[dest]
-        d_dest = len(anc_d) - 1
+        arena = self._arena
+        o_dest = self._off[dest]
+        d_dest = self._off[dest + 1] - o_dest - 1
         best = -1
         best_seq = 0
         da = d_dest
@@ -196,28 +238,34 @@ class AncestorIndex:
         if floor < 0:
             floor = 0
         while da >= floor:
-            b = buckets.get(anc_d[da])
+            b = buckets.get(arena[o_dest + da])
             if b is not None:
-                heap = b[_HEAP]
-                # discard stale heads (touched or removed members)
-                while heap:
-                    top = heap[0]
-                    if members.get(top[2]) == top[1]:
-                        break
-                    heappop(heap)
-                if heap:
+                if type(b) is tuple:
+                    # compact single-member bucket: always live
+                    depth_v, seq, v = b
+                else:
+                    heap = b[_HEAP]
+                    # discard stale heads (touched or removed members)
+                    while heap:
+                        top = heap[0]
+                        if members.get(top[2]) == top[1]:
+                            break
+                        heappop(heap)
+                    if not heap:
+                        da -= 1
+                        continue
                     depth_v, seq, v = heap[0]
-                    d = depth_v + d_dest - 2 * da
-                    if d < best_d:
-                        best_d = d
-                        best = v
-                        best_seq = seq
-                        floor = d_dest - best_d
-                        if floor < 0:
-                            floor = 0
-                    elif d == best_d and best >= 0 and seq < best_seq:
-                        best = v
-                        best_seq = seq
+                d = depth_v + d_dest - 2 * da
+                if d < best_d:
+                    best_d = d
+                    best = v
+                    best_seq = seq
+                    floor = d_dest - best_d
+                    if floor < 0:
+                        floor = 0
+                elif d == best_d and best >= 0 and seq < best_seq:
+                    best = v
+                    best_seq = seq
             da -= 1
         return best, best_d
 

@@ -77,15 +77,9 @@ def replicate_top_levels(
 
 def _note_without_stats(owner, node: int, target: int) -> None:
     """Owner map/advertisement update minus the stats recording."""
-    from collections import deque
+    from repro.server.replica_store import advert_push
 
-    dq = owner.adverts_recent.get(node)
-    if dq is None:
-        dq = deque(maxlen=owner.cfg.rmap)
-        owner.adverts_recent[node] = dq
-    if target in dq:
-        dq.remove(target)
-    dq.appendleft(target)
+    advert_push(owner.adverts_recent, node, target, owner.cfg.rmap)
     entry = owner.maps.get(node)
     if entry is not None and target not in entry:
         if len(entry) >= owner.cfg.rmap:

@@ -36,10 +36,17 @@ Usage::
     python -m repro.experiments.bench_micro --out out.json
     python -m repro.experiments.bench_micro --check BENCH_micro.json
 
+Each scenario also reports ``mem_bytes``: the deep size
+(:func:`repro.sim.memsize.deep_sizeof`) of the live simulation state
+once the scenario finishes -- the number the arena-backed namespace and
+lean server structs are accountable to.
+
 ``--check`` compares the current run against the committed baseline's
 ``after`` numbers and exits non-zero when any scenario (or the
 headline) regresses by more than the tolerance (default 20%, override
-with ``REPRO_BENCH_TOLERANCE``).  CI runs exactly this.
+with ``REPRO_BENCH_TOLERANCE``): an ``events_per_sec`` drop or a
+``mem_bytes`` growth beyond the tolerance both fail.  CI runs exactly
+this.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
 from repro.namespace.generators import balanced_tree
 from repro.sim.engine import Engine
+from repro.sim.memsize import deep_sizeof
 from repro.sim.rng import exponential
 from repro.sim.stats import NullSink
 
@@ -92,7 +100,8 @@ def bench_transport_chain() -> Dict[str, float]:
     eng.run()
     wall = time.perf_counter() - t0
     return {"events": tr.n_sent, "engine_events": eng.n_dispatched,
-            "wall_s": wall, "events_per_sec": tr.n_sent / wall}
+            "wall_s": wall, "events_per_sec": tr.n_sent / wall,
+            "mem_bytes": deep_sizeof((eng, tr))}
 
 
 def bench_end_to_end() -> Dict[str, float]:
@@ -110,7 +119,8 @@ def bench_end_to_end() -> Dict[str, float]:
     wall = time.perf_counter() - t0
     msgs = system.transport.n_sent + system.transport.n_control_sent
     return {"events": msgs, "engine_events": system.engine.n_dispatched,
-            "wall_s": wall, "events_per_sec": msgs / wall}
+            "wall_s": wall, "events_per_sec": msgs / wall,
+            "mem_bytes": deep_sizeof(system)}
 
 
 def bench_client_load() -> Dict[str, float]:
@@ -136,7 +146,8 @@ def bench_client_load() -> Dict[str, float]:
     wall = time.perf_counter() - t0
     msgs = system.transport.n_sent + system.transport.n_control_sent
     return {"events": msgs, "engine_events": eng.n_dispatched,
-            "wall_s": wall, "events_per_sec": msgs / wall}
+            "wall_s": wall, "events_per_sec": msgs / wall,
+            "mem_bytes": deep_sizeof(system)}
 
 
 def _routing_peer(levels: int, n_servers: int, n_replicas: int,
@@ -191,7 +202,8 @@ def _bench_routing_decide(
         decide(peer, dest)
     wall = time.perf_counter() - t0
     return {"events": n_queries, "engine_events": 0,
-            "wall_s": wall, "events_per_sec": n_queries / wall}
+            "wall_s": wall, "events_per_sec": n_queries / wall,
+            "mem_bytes": deep_sizeof(system)}
 
 
 def bench_routing_decide_small() -> Dict[str, float]:
@@ -242,23 +254,38 @@ def check_regression(
     baseline_path: str,
     tolerance: float = TOLERANCE,
 ) -> List[str]:
-    """Scenarios regressing more than ``tolerance`` vs the baseline."""
+    """Scenarios regressing more than ``tolerance`` vs the baseline.
+
+    Throughput regresses downward (``events_per_sec`` below the floor);
+    memory regresses upward (``mem_bytes`` above the ceiling).
+    """
     with open(baseline_path) as f:
         baseline = json.load(f)
     reference = baseline.get("after", baseline)
     failures = []
     for name, ref in reference.items():
-        ref_rate = ref.get("events_per_sec")
         cur = results.get(name)
-        if ref_rate is None or cur is None:
+        if cur is None:
             continue
-        floor = (1.0 - tolerance) * ref_rate
-        if cur["events_per_sec"] < floor:
-            failures.append(
-                f"{name}: {cur['events_per_sec']:,.0f} ev/s < "
-                f"{floor:,.0f} (baseline {ref_rate:,.0f}, "
-                f"tolerance {tolerance:.0%})"
-            )
+        ref_rate = ref.get("events_per_sec")
+        if ref_rate is not None:
+            floor = (1.0 - tolerance) * ref_rate
+            if cur["events_per_sec"] < floor:
+                failures.append(
+                    f"{name}: {cur['events_per_sec']:,.0f} ev/s < "
+                    f"{floor:,.0f} (baseline {ref_rate:,.0f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+        ref_mem = ref.get("mem_bytes")
+        cur_mem = cur.get("mem_bytes")
+        if ref_mem and cur_mem:
+            ceiling = (1.0 + tolerance) * ref_mem
+            if cur_mem > ceiling:
+                failures.append(
+                    f"{name}: {cur_mem:,.0f} mem bytes > "
+                    f"{ceiling:,.0f} (baseline {ref_mem:,.0f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
     return failures
 
 

@@ -9,7 +9,13 @@ target utilisations, Zipf orders, threshold ratios (l_high, delta_min),
 queue depth, cache-to-namespace ratio, and replication factor.
 
 Select a scale with the ``REPRO_SCALE`` environment variable
-(``tiny`` | ``small`` | ``paper``; default ``tiny``).
+(``tiny`` | ``small`` | ``paper`` | ``million``; default ``tiny``).
+
+The ``million`` scale points the same experiments at a 2^20 - 1 node
+namespace on 1,024 servers -- the "millions of users" regime the
+array-backed namespace arenas exist for.  Durations are kept short
+(the point is state scale, not steady-state statistics), so a table1
+audit or a fig9 point at this scale completes on a laptop.
 """
 
 from __future__ import annotations
@@ -51,6 +57,9 @@ class Scale:
             hierarchical bottleneck the paper studies.
         long_run: duration of the Fig. 8 stabilisation run (paper: 10,000 s).
         long_bucket: seconds per Fig. 8 bucket (paper: 60 s).
+        fig9_nodes_per_server: namespace nodes per server in the Fig. 9
+            sweep (paper: 8; the million scale raises it to 1,024 so a
+            single point exercises a ~10^6-node namespace).
     """
 
     name: str
@@ -66,6 +75,7 @@ class Scale:
     digest_probe_limit: int = 8
     long_run: float = 10_000.0
     long_bucket: int = 60
+    fig9_nodes_per_server: int = 8
 
     @property
     def smooth_window(self) -> int:
@@ -88,8 +98,14 @@ PAPER = Scale(
     warmup=50.0, phase=50.0, n_phases=4, cache_slots=26,
     digest_probe_limit=8, long_run=10_000.0, long_bucket=60,
 )
+MILLION = Scale(
+    name="million", ns_levels=19, nc_nodes=1_000_000, n_servers=1_024,
+    warmup=1.0, phase=1.0, n_phases=2, drain=2.0, cache_slots=26,
+    digest_probe_limit=8, long_run=240.0, long_bucket=30,
+    fig9_nodes_per_server=1_024,
+)
 
-SCALES: Dict[str, Scale] = {s.name: s for s in (TINY, SMALL, PAPER)}
+SCALES: Dict[str, Scale] = {s.name: s for s in (TINY, SMALL, PAPER, MILLION)}
 
 
 def get_scale(name: Optional[str] = None) -> Scale:

@@ -31,6 +31,9 @@ from repro.workload.arrivals import WorkloadDriver
 
 def sweep_sizes(scale: Scale) -> List[int]:
     """Server-count sweep for the given scale (powers of two)."""
+    if scale.name == "million":
+        # a single point: 1,024 servers x 1,024 nodes/server (~10^6)
+        return [2**10]
     if scale.name == "paper":
         return [2**k for k in range(9, 15)]
     if scale.name == "small":
@@ -49,8 +52,11 @@ def fig9_point(
 ) -> Dict[str, float]:
     """One system size of the Fig. 9 sweep -- picklable task unit."""
     k = int(math.log2(n_servers))
-    # 8 nodes per server: a binary tree with 2^(k+3)-1 nodes
-    ns = balanced_tree(levels=k + 2)
+    # fig9_nodes_per_server nodes per server (paper: 8): a binary tree
+    # with nodes_per_server * 2^k - 1 nodes
+    ns = balanced_tree(
+        levels=k + int(math.log2(scale.fig9_nodes_per_server)) - 1
+    )
     cache_slots = scale.cache_slots + 2 * (k - base_k)
     rmap = 2 + (k - base_k)
     cfg = SystemConfig.replicated(

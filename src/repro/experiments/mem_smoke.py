@@ -1,0 +1,85 @@
+"""Million-node build smoke under an enforced RSS budget (``make mem``).
+
+Builds the two 10^6-node namespaces (balanced N_S-shaped and the
+file-system-shaped ``coda_like_tree``), reports build time, deep size,
+and process peak RSS, and exits non-zero if the peak exceeds the
+budget.  This is the guard for the arena refactor's headline claim:
+a million-node namespace fits in laptop RAM (DESIGN.md section 11).
+
+The default budget is the documented 2 GB for namespace builds
+(override with ``--budget-mb`` or ``REPRO_MEM_BUDGET_MB``).
+
+Usage::
+
+    python -m repro mem-smoke                 # 2 GB budget
+    python -m repro mem-smoke --nodes 100000  # quicker CI variant
+    python -m repro mem-smoke --budget-mb 512
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.namespace.generators import balanced_tree, coda_like_tree
+from repro.sim.memsize import deep_sizeof, fmt_bytes, peak_rss_bytes
+
+DEFAULT_BUDGET_MB = float(os.environ.get("REPRO_MEM_BUDGET_MB", "2048"))
+
+
+def run_smoke(n_nodes: int = 10**6) -> Dict[str, Dict[str, float]]:
+    """Build both namespace shapes at ``n_nodes``; return measurements."""
+    levels = max(1, (n_nodes + 1).bit_length() - 1)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, build in (
+        (f"balanced_l{levels}", lambda: balanced_tree(levels=levels)),
+        (f"coda_{n_nodes}", lambda: coda_like_tree(n_nodes=n_nodes)),
+    ):
+        t0 = time.perf_counter()
+        ns = build()
+        build_s = time.perf_counter() - t0
+        out[name] = {
+            "nodes": len(ns),
+            "build_s": round(build_s, 3),
+            "deep_bytes": deep_sizeof(ns),
+            "peak_rss_bytes": peak_rss_bytes(),
+        }
+        del ns
+    return out
+
+
+def main(argv: List[str]) -> int:
+    n_nodes = 10**6
+    budget_mb = DEFAULT_BUDGET_MB
+    args = list(argv)
+    while args:
+        a = args.pop(0)
+        if a == "--nodes":
+            n_nodes = int(args.pop(0))
+        elif a == "--budget-mb":
+            budget_mb = float(args.pop(0))
+        else:
+            raise SystemExit(f"unknown argument {a!r} "
+                             "(expected --nodes N / --budget-mb MB)")
+    results = run_smoke(n_nodes)
+    print(json.dumps(results, indent=1, sort_keys=True))
+    peak = peak_rss_bytes()
+    budget = budget_mb * 1024 * 1024
+    if peak == 0:
+        print("warning: peak RSS unavailable on this platform; "
+              "budget not enforced", file=sys.stderr)
+        return 0
+    if peak > budget:
+        print(f"FAIL: peak RSS {fmt_bytes(peak)} exceeds the "
+              f"{fmt_bytes(int(budget))} budget", file=sys.stderr)
+        return 1
+    print(f"ok: peak RSS {fmt_bytes(peak)} within the "
+          f"{fmt_bytes(int(budget))} budget", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main(sys.argv[1:]))

@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.namespace.tree import Namespace, NamespaceBuilder
 
@@ -66,16 +66,95 @@ def random_tree(n_nodes: int, seed: int = 0, attach_power: float = 0.0) -> Names
     rng = random.Random(seed)
     b = NamespaceBuilder()
     degrees = [0]
+    # attachment weights maintained incrementally: only the chosen
+    # parent's entry changes per step, and ``(1 + d) ** p`` is a pure
+    # function of the degree, so the values (and hence every
+    # ``rng.choices`` draw) are bit-identical to a full rebuild
+    weights = [1.0]
     for v in range(1, n_nodes):
         if attach_power <= 0.0:
             parent = rng.randrange(v)
         else:
-            weights = [(1.0 + d) ** attach_power for d in degrees]
             parent = rng.choices(range(v), weights=weights, k=1)[0]
         b.add_child(parent, f"n{v}")
         degrees[parent] += 1
         degrees.append(0)
+        weights[parent] = (1.0 + degrees[parent]) ** attach_power
+        weights.append(1.0)
     return b.build()
+
+
+class _FrontierSampler:
+    """A frontier supporting ``pop(i)`` at random indices in O(log n).
+
+    Reproduces plain-``list`` semantics exactly -- ``pop(i)`` returns
+    the *i*-th live entry in insertion order and preserves the order of
+    the rest, ``append`` adds at the end -- so swapping it in changes
+    no ``rng``-draw-to-entry correspondence.  Internally entries are
+    tombstoned in an append-only slot list and a Fenwick tree counts
+    live slots, replacing the O(n) ``list.pop(i)`` shift that made
+    million-node ``coda_like_tree`` builds quadratic.  The slot list is
+    compacted in chunks once tombstones outnumber live entries.
+    """
+
+    __slots__ = ("_slots", "_tree", "_alive")
+
+    def __init__(self) -> None:
+        self._slots: List[Optional[Tuple[int, int]]] = []
+        self._tree: List[int] = [0]  # 1-based Fenwick over slot liveness
+        self._alive = 0
+
+    def __len__(self) -> int:
+        return self._alive
+
+    def _prefix(self, i: int) -> int:
+        s = 0
+        while i > 0:
+            s += self._tree[i]
+            i -= i & -i
+        return s
+
+    def append(self, item: Tuple[int, int]) -> None:
+        self._slots.append(item)
+        i = len(self._slots)
+        # new Fenwick cell covers slots (i - lowbit(i), i]
+        lsb = i & -i
+        self._tree.append(self._prefix(i - 1) - self._prefix(i - lsb) + 1)
+        self._alive += 1
+
+    def pop(self, idx: int) -> Tuple[int, int]:
+        if not 0 <= idx < self._alive:
+            raise IndexError("pop index out of range")
+        # binary lifting: largest pos with prefix(pos) <= idx, answer pos+1
+        size = len(self._slots)
+        pos, rem = 0, idx
+        bit = 1 << (size.bit_length() - 1) if size else 0
+        while bit:
+            nxt = pos + bit
+            if nxt <= size and self._tree[nxt] <= rem:
+                pos = nxt
+                rem -= self._tree[nxt]
+            bit >>= 1
+        slot = pos  # 0-based index of the (idx+1)-th live slot
+        item = self._slots[slot]
+        assert item is not None
+        self._slots[slot] = None
+        self._alive -= 1
+        i = slot + 1
+        while i <= size:
+            self._tree[i] -= 1
+            i += i & -i
+        if size >= 1024 and self._alive * 2 < size:
+            self._compact()
+        return item
+
+    def _compact(self) -> None:
+        live = [s for s in self._slots if s is not None]
+        self._slots = live
+        self._tree = [0] * (len(live) + 1)
+        for i in range(1, len(live) + 1):
+            self._tree[i] = i & -i  # every slot alive: cell = span size
+        self._alive = len(live)
 
 
 def coda_like_tree(
@@ -111,7 +190,8 @@ def coda_like_tree(
     rng = random.Random(seed)
     b = NamespaceBuilder()
     # frontier of (node, depth) directories still accepting children
-    frontier: List[tuple] = [(0, 0)]
+    frontier = _FrontierSampler()
+    frontier.append((0, 0))
     count = 1
     serial = 0
     while count < n_nodes:

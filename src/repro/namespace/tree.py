@@ -1,19 +1,33 @@
-"""Dense-integer representation of a TerraDir namespace tree.
+"""Array-backed (CSR/arena) representation of a TerraDir namespace tree.
 
 The routing hot path computes thousands of namespace distances per
-simulated second, so the tree is stored as flat parallel lists indexed
-by node id:
+simulated second, and the million-node namespaces of the scaled
+experiments must fit in laptop RAM, so the tree is stored as flat
+``array`` arenas indexed by node id -- no per-node Python containers:
 
-* ``parent[v]``   -- parent id (root's parent is itself),
-* ``depth[v]``    -- distance from the root,
-* ``children[v]`` -- tuple of child ids,
-* ``anc[v]``      -- ancestor chain ``(root, ..., v)`` as a tuple.
+* ``parent[v]``      -- parent id (root's parent is itself), ``array('i')``;
+* ``depth[v]``       -- distance from the root, ``array('i')``;
+* ``anc_arena`` / ``anc_off``     -- every node's ancestor chain
+  ``(root, ..., v)`` concatenated into one flat ``array('i')``; node
+  ``v``'s chain is ``anc_arena[anc_off[v]:anc_off[v + 1]]``;
+* ``child_arena`` / ``child_off`` -- the children lists in CSR form:
+  node ``v``'s children are ``child_arena[child_off[v]:child_off[v+1]]``.
 
-Names are materialised lazily; nothing on the hot path touches strings.
+``anc`` and ``children`` remain as zero-copy *views* over the arenas
+(``ns.anc[v]`` / ``ns.children[v]`` return ``array('i')`` slices), so
+every pre-arena call site keeps working; hot-path consumers (the tree
+metrics below, :class:`repro.core.nsindex.AncestorIndex`) index the
+arenas directly.
+
+Names are fully lazy: labels are interned at build time, ``name_of``
+joins one ancestor chain on demand, and ``id_of`` resolves a path by
+walking children per component -- nothing ever materialises all *n*
+name strings, and nothing on the hot path touches strings.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.namespace.name import ROOT_NAME, join, split, validate_name
@@ -21,10 +35,50 @@ from repro.namespace.name import ROOT_NAME, join, split, validate_name
 ROOT = 0
 
 
+class _ArenaView:
+    """Sequence-of-sequences view over a flat arena + offset array.
+
+    ``view[v]`` is an ``array('i')`` slice -- cheap (one memcpy of at
+    most ``max_depth + 1`` or ``fanout`` ints), supports ``len``,
+    indexing, iteration, and comparison, exactly like the tuples it
+    replaces.
+    """
+
+    __slots__ = ("_arena", "_off", "_n")
+
+    def __init__(self, arena: array, off: array) -> None:
+        self._arena = arena
+        self._off = off
+        self._n = len(off) - 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, v: int) -> array:
+        if v < 0:
+            v += self._n
+        if not 0 <= v < self._n:
+            raise IndexError(f"node id {v} out of range")
+        return self._arena[self._off[v]:self._off[v + 1]]
+
+    def __iter__(self) -> Iterator[array]:
+        arena, off = self._arena, self._off
+        for v in range(self._n):
+            yield arena[off[v]:off[v + 1]]
+
+    def __repr__(self) -> str:
+        return f"_ArenaView(n={self._n}, ints={len(self._arena)})"
+
+
 class NamespaceBuilder:
     """Incrementally build a :class:`Namespace`.
 
     Nodes must be added parent-before-child; the root exists implicitly.
+    The builder is streaming: it holds two flat append-only columns
+    (parent ids and interned labels) and **no per-node child lists** --
+    the CSR child arena is produced by :meth:`build` in two passes
+    (count children, then fill), so building an *n*-node namespace
+    allocates O(n) ints, not O(n) Python lists.
 
     >>> b = NamespaceBuilder()
     >>> u = b.add_child(0, "university")
@@ -35,9 +89,13 @@ class NamespaceBuilder:
     """
 
     def __init__(self) -> None:
-        self._parent: List[int] = [ROOT]
+        self._parent = array("i", (ROOT,))
         self._label: List[str] = [""]
-        self._children: List[List[int]] = [[]]
+        # label object dedup: balanced trees repeat a handful of labels
+        # across hundreds of thousands of nodes; one shared str each
+        self._intern: Dict[str, str] = {"": ""}
+        # (parent, label) -> node, built lazily on first add_path
+        self._path_index: Optional[Dict[Tuple[int, str], int]] = None
 
     def __len__(self) -> int:
         return len(self._parent)
@@ -49,10 +107,11 @@ class NamespaceBuilder:
         if not label or "/" in label:
             raise ValueError(f"invalid component label {label!r}")
         node = len(self._parent)
+        label = self._intern.setdefault(label, label)
         self._parent.append(parent)
         self._label.append(label)
-        self._children.append([])
-        self._children[parent].append(node)
+        if self._path_index is not None:
+            self._path_index.setdefault((parent, label), node)
         return node
 
     def add_path(self, name: str) -> int:
@@ -62,28 +121,32 @@ class NamespaceBuilder:
         twice returns the same node id.
         """
         validate_name(name)
+        index = self._path_index
+        if index is None:
+            index = {}
+            for v in range(1, len(self._parent)):
+                index.setdefault((self._parent[v], self._label[v]), v)
+            self._path_index = index
         node = ROOT
         for comp in split(name):
-            for child in self._children[node]:
-                if self._label[child] == comp:
-                    node = child
-                    break
-            else:
-                node = self.add_child(node, comp)
+            child = index.get((node, comp))
+            node = child if child is not None else self.add_child(node, comp)
         return node
 
     def build(self) -> "Namespace":
-        return Namespace(self._parent, self._label, self._children)
+        return Namespace(self._parent, self._label)
 
 
 class Namespace:
     """An immutable rooted tree of hierarchical names.
 
     Attributes:
-        parent: flat parent-id list (``parent[0] == 0``).
-        depth: flat depth list (``depth[0] == 0``).
-        children: per-node tuple of child ids.
-        anc: per-node ancestor chain from the root to the node, inclusive.
+        parent: flat parent-id array (``parent[0] == 0``).
+        depth: flat depth array (``depth[0] == 0``).
+        children: per-node child-id view over the CSR arena.
+        anc: per-node ancestor-chain view (root to the node, inclusive).
+        anc_arena / anc_off: the flat ancestor arena and its offsets.
+        child_arena / child_off: the flat CSR child arena and offsets.
     """
 
     __slots__ = (
@@ -91,9 +154,12 @@ class Namespace:
         "depth",
         "children",
         "anc",
+        "anc_arena",
+        "anc_off",
+        "child_arena",
+        "child_off",
         "_label",
-        "_names",
-        "_name_index",
+        "_levels",
         "n_leaves",
         "max_depth",
     )
@@ -102,32 +168,84 @@ class Namespace:
         self,
         parent: Sequence[int],
         label: Sequence[str],
-        children: Sequence[Sequence[int]],
+        children: Optional[Sequence[Sequence[int]]] = None,
     ) -> None:
         n = len(parent)
         if n == 0 or parent[ROOT] != ROOT:
             raise ValueError("namespace must contain a root whose parent is itself")
-        self.parent: Tuple[int, ...] = tuple(parent)
+        par = parent if isinstance(parent, array) and parent.typecode == "i" \
+            else array("i", parent)
+        self.parent: array = par
         self._label: Tuple[str, ...] = tuple(label)
-        self.children: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(c) for c in children
-        )
-        depth = [0] * n
-        anc: List[Tuple[int, ...]] = [()] * n
-        anc[ROOT] = (ROOT,)
+
+        # depths + ancestor-chain offsets in one pass.  Chain v has
+        # depth[v] + 1 entries; offsets are the running prefix sum.
+        depth = array("i", bytes(4 * n))
+        anc_off = array("q", bytes(8 * (n + 1)))
+        total = 1  # the root's chain (ROOT,)
+        max_depth = 0
         # parent-before-child ordering is guaranteed by NamespaceBuilder
         for v in range(1, n):
-            p = parent[v]
+            p = par[v]
             if p >= v:
                 raise ValueError("nodes must be ordered parent-before-child")
-            depth[v] = depth[p] + 1
-            anc[v] = anc[p] + (v,)
-        self.depth: Tuple[int, ...] = tuple(depth)
-        self.anc: Tuple[Tuple[int, ...], ...] = tuple(anc)
-        self.max_depth: int = max(depth)
-        self.n_leaves: int = sum(1 for c in self.children if not c)
-        self._names: Optional[Tuple[str, ...]] = None
-        self._name_index: Optional[Dict[str, int]] = None
+            d = depth[p] + 1
+            depth[v] = d
+            if d > max_depth:
+                max_depth = d
+            anc_off[v] = total
+            total += d + 1
+        anc_off[n] = total
+        self.depth: array = depth
+        self.max_depth: int = max_depth
+
+        # fill the ancestor arena: chain(v) = chain(parent) + (v,), a
+        # single slice copy (memmove) per node
+        arena = array("i", bytes(4 * total))
+        arena[0] = ROOT
+        for v in range(1, n):
+            o = anc_off[v]
+            dv = depth[v]  # parent's chain length
+            po = anc_off[par[v]]
+            arena[o:o + dv] = arena[po:po + dv]
+            arena[o + dv] = v
+        self.anc_arena: array = arena
+        self.anc_off: array = anc_off
+        self.anc = _ArenaView(arena, anc_off)
+
+        # children in CSR form.  When no explicit child lists are given
+        # (the builder's streaming path) they are derived from `parent`:
+        # children appear in increasing id order, which is exactly the
+        # order the old list-of-lists builder appended them in.
+        child_off = array("q", bytes(8 * (n + 1)))
+        if children is None:
+            for v in range(1, n):
+                child_off[par[v] + 1] += 1
+            for v in range(n):
+                child_off[v + 1] += child_off[v]
+            child_arena = array("i", bytes(4 * (n - 1 if n else 0)))
+            cursor = array("q", child_off[:n])
+            for v in range(1, n):
+                p = par[v]
+                child_arena[cursor[p]] = v
+                cursor[p] += 1
+        else:
+            if len(children) != n:
+                raise ValueError("children length must equal node count")
+            flat: List[int] = []
+            for v, kids in enumerate(children):
+                flat.extend(kids)
+                child_off[v + 1] = len(flat)
+            child_arena = array("i", flat)
+        self.child_arena: array = child_arena
+        self.child_off: array = child_off
+        self.children = _ArenaView(child_arena, child_off)
+        leaves = 0
+        for v in range(n):
+            if child_off[v] == child_off[v + 1]:
+                leaves += 1
+        self.n_leaves: int = leaves
+        self._levels: Optional[List[array]] = None
 
     # ------------------------------------------------------------------
     # basics
@@ -141,43 +259,63 @@ class Namespace:
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Parent plus children of ``v`` (the node's routing context)."""
+        kids = self.child_arena[self.child_off[v]:self.child_off[v + 1]]
         if v == ROOT:
-            return self.children[v]
-        return (self.parent[v],) + self.children[v]
+            return tuple(kids)
+        return (self.parent[v], *kids)
 
     def is_leaf(self, v: int) -> bool:
-        return not self.children[v]
+        return self.child_off[v] == self.child_off[v + 1]
+
+    def _level_lists(self) -> List[array]:
+        """Per-depth node-id arrays, computed once on first use."""
+        if self._levels is None:
+            levels = [array("i") for _ in range(self.max_depth + 1)]
+            for v, d in enumerate(self.depth):
+                levels[d].append(v)
+            self._levels = levels
+        return self._levels
 
     def nodes_at_depth(self, d: int) -> List[int]:
-        return [v for v in range(len(self.parent)) if self.depth[v] == d]
+        """All node ids at depth ``d`` (ascending; cached as ``array('i')``)."""
+        levels = self._level_lists()
+        return list(levels[d]) if 0 <= d < len(levels) else []
 
     # ------------------------------------------------------------------
-    # names
+    # names (lazy: nothing materialises all n strings)
     # ------------------------------------------------------------------
-
-    def _materialise_names(self) -> Tuple[str, ...]:
-        if self._names is None:
-            names = [""] * len(self.parent)
-            names[ROOT] = ROOT_NAME
-            for v in range(1, len(self.parent)):
-                names[v] = join(*(self._label[u] for u in self.anc[v][1:]))
-            self._names = tuple(names)
-            self._name_index = {nm: v for v, nm in enumerate(self._names)}
-        return self._names
 
     def name_of(self, v: int) -> str:
-        """The fully-qualified name of node ``v``."""
-        return self._materialise_names()[v]
+        """The fully-qualified name of node ``v`` (built on demand)."""
+        if v == ROOT:
+            return ROOT_NAME
+        label = self._label
+        o = self.anc_off[v]
+        chain = self.anc_arena[o + 1:self.anc_off[v + 1]]
+        return join(*(label[u] for u in chain))
 
     def id_of(self, name: str) -> int:
         """The node id of a fully-qualified name.
 
+        Resolved by walking children per path component -- O(depth x
+        fanout), no name table.
+
         Raises:
             KeyError: if the name does not exist in this namespace.
         """
-        self._materialise_names()
-        assert self._name_index is not None
-        return self._name_index[validate_name(name)]
+        validate_name(name)
+        label = self._label
+        arena, off = self.child_arena, self.child_off
+        node = ROOT
+        for comp in split(name):
+            for i in range(off[node], off[node + 1]):
+                child = arena[i]
+                if label[child] == comp:
+                    node = child
+                    break
+            else:
+                raise KeyError(name)
+        return node
 
     def label_of(self, v: int) -> str:
         """The last path component of node ``v`` (empty for the root)."""
@@ -189,17 +327,22 @@ class Namespace:
 
     def lca_depth(self, a: int, b: int) -> int:
         """Depth of the lowest common ancestor of ``a`` and ``b``."""
-        aa, ab = self.anc[a], self.anc[b]
+        arena = self.anc_arena
+        off = self.anc_off
+        oa, ob = off[a], off[b]
         # common prefix scan; element 0 (the root) always matches
-        n = min(len(aa), len(ab))
+        n = off[a + 1] - oa
+        nb = off[b + 1] - ob
+        if nb < n:
+            n = nb
         d = 0
-        while d < n and aa[d] == ab[d]:
+        while d < n and arena[oa + d] == arena[ob + d]:
             d += 1
         return d - 1
 
     def lca(self, a: int, b: int) -> int:
         """The lowest common ancestor of ``a`` and ``b``."""
-        return self.anc[a][self.lca_depth(a, b)]
+        return self.anc_arena[self.anc_off[a] + self.lca_depth(a, b)]
 
     def distance(self, a: int, b: int) -> int:
         """Namespace (tree) distance between ``a`` and ``b``."""
@@ -207,9 +350,9 @@ class Namespace:
 
     def is_ancestor(self, a: int, b: int) -> bool:
         """True if ``a`` is ``b`` or a proper ancestor of ``b``."""
-        ab = self.anc[b]
         da = self.depth[a]
-        return da < len(ab) and ab[da] == a
+        return da <= self.depth[b] and \
+            self.anc_arena[self.anc_off[b] + da] == a
 
     def step_toward(self, a: int, b: int) -> int:
         """The neighbor of ``a`` one namespace hop closer to ``b``.
@@ -223,10 +366,10 @@ class Namespace:
         """
         if a == b:
             raise ValueError(f"no step from node {a} toward itself")
-        ab = self.anc[b]
         da = self.depth[a]
-        if da < len(ab) and ab[da] == a:
-            return ab[da + 1]
+        ob = self.anc_off[b]
+        if da <= self.depth[b] and self.anc_arena[ob + da] == a:
+            return self.anc_arena[ob + da + 1]
         return self.parent[a]
 
     def route_path(self, src: int, dst: int) -> List[int]:
@@ -235,27 +378,29 @@ class Namespace:
         This is the route the *base* protocol follows when no caches,
         replicas, or digests provide a shortcut (paper section 2.2.1).
         """
+        arena, off = self.anc_arena, self.anc_off
         ld = self.lca_depth(src, dst)
-        up = [self.anc[src][d] for d in range(self.depth[src], ld - 1, -1)]
-        down = [self.anc[dst][d] for d in range(ld + 1, self.depth[dst] + 1)]
+        os_, od = off[src], off[dst]
+        up = [arena[os_ + d] for d in range(self.depth[src], ld - 1, -1)]
+        down = [arena[od + d] for d in range(ld + 1, self.depth[dst] + 1)]
         return up + down
 
     def subtree(self, v: int) -> List[int]:
         """All ids in the subtree rooted at ``v`` (preorder)."""
+        arena, off = self.child_arena, self.child_off
         out: List[int] = []
         stack = [v]
         while stack:
             u = stack.pop()
             out.append(u)
-            stack.extend(reversed(self.children[u]))
+            o, e = off[u], off[u + 1]
+            if e > o:
+                stack.extend(reversed(arena[o:e]))
         return out
 
     def level_sizes(self) -> List[int]:
-        """Node count per depth level, index = depth."""
-        sizes = [0] * (self.max_depth + 1)
-        for d in self.depth:
-            sizes[d] += 1
-        return sizes
+        """Node count per depth level, index = depth (computed once)."""
+        return [len(level) for level in self._level_lists()]
 
     @classmethod
     def from_names(cls, names: Iterable[str]) -> "Namespace":

@@ -17,14 +17,19 @@ the back, LRU eviction drops the front.
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 from repro.core.nsindex import AncestorIndex
 
 
 class LRUCache:
-    """Bounded LRU map from node id to a node map (list of server ids).
+    """Bounded LRU map from node id to a node map of server ids.
+
+    Entries are stored as ``array('i')`` (bounded, int-only) rather
+    than lists of boxed ints; they behave as sequences everywhere they
+    are consumed (iteration, ``in``, ``len``, random selection).
 
     >>> c = LRUCache(capacity=2, rmap=4)
     >>> c.put(1, [10]); c.put(2, [20]); c.put(3, [30])
@@ -47,7 +52,7 @@ class LRUCache:
             raise ValueError("rmap must be >= 1")
         self.capacity = capacity
         self.rmap = rmap
-        self._entries: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._entries: "OrderedDict[int, array]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -63,14 +68,14 @@ class LRUCache:
         """Iterate cached node ids (no LRU touch)."""
         return iter(self._entries.keys())
 
-    def items(self) -> Iterator[Tuple[int, List[int]]]:
+    def items(self) -> Iterator[Tuple[int, Sequence[int]]]:
         return iter(self._entries.items())
 
-    def peek(self, node: int) -> Optional[List[int]]:
+    def peek(self, node: int) -> Optional[Sequence[int]]:
         """Read an entry without touching LRU order or hit counters."""
         return self._entries.get(node)
 
-    def get(self, node: int) -> Optional[List[int]]:
+    def get(self, node: int) -> Optional[Sequence[int]]:
         """Read an entry, marking it most-recently-used."""
         entry = self._entries.get(node)
         if entry is None:
@@ -106,7 +111,7 @@ class LRUCache:
             if self.index is not None:
                 self.index.touch(node)
             return
-        entry: List[int] = []
+        entry = array("i")
         for s in servers:
             if s not in entry and len(entry) < self.rmap:
                 entry.append(s)
@@ -121,7 +126,7 @@ class LRUCache:
         if self.index is not None:
             self.index.add(node)
 
-    def replace(self, node: int, servers: List[int]) -> None:
+    def replace(self, node: int, servers: Sequence[int]) -> None:
         """Overwrite an entry's map in place (post-merge/filter update).
 
         Keeps the entry's LRU position (this is a content update, not a
@@ -129,7 +134,7 @@ class LRUCache:
         """
         if node in self._entries:
             if servers:
-                self._entries[node] = servers[: self.rmap]
+                self._entries[node] = array("i", servers[: self.rmap])
             else:
                 del self._entries[node]
                 if self.index is not None:

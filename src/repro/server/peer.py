@@ -264,7 +264,8 @@ class Peer:
         self.owned.add(node)
         self.store.track_owned(node)
         self.ranking.track(node)
-        self.metadata.meta(node)  # ensure a meta record exists
+        # the meta record is created on first access (version 0 either
+        # way): nothing is materialised for the common never-written node
         entry = self.maps.setdefault(node, [])
         if self.sid not in entry:
             entry.insert(0, self.sid)

@@ -12,13 +12,32 @@ that state.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterator, List, Optional
+from array import array
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.maps import merge_maps
 from repro.core.nsindex import AncestorIndex
 from repro.namespace.meta import NodeMeta
 from repro.net.message import ReplicaPayload
+
+
+def advert_push(
+    adverts: Dict[int, array], node: int, target: int, rmap: int
+) -> None:
+    """MRU-push ``target`` onto ``node``'s bounded advert list.
+
+    Replaces the old per-node ``deque(maxlen=rmap)`` with an
+    ``array('i')`` holding the same sequence: most recent first,
+    duplicates moved to the front, trimmed to ``rmap`` from the back.
+    """
+    lst = adverts.get(node)
+    if lst is None:
+        lst = array("i")
+        adverts[node] = lst
+    elif target in lst:
+        lst.remove(target)
+    lst.insert(0, target)
+    del lst[rmap:]
 
 
 class Replica:
@@ -51,7 +70,7 @@ class ReplicaStore:
         self.peer = peer
         self.replicas: Dict[int, Replica] = {}
         self.hosted_list: List[int] = list(peer.owned)
-        self.adverts_recent: Dict[int, Deque[int]] = {}
+        self.adverts_recent: Dict[int, array] = {}
         # ancestor index over the hosted list, kept in lock-step with it
         # (same membership, seq order == list order) so routing finds
         # the closest hosted node in O(depth) instead of a full scan
@@ -177,13 +196,7 @@ class ReplicaStore:
     def note_created(self, node: int, target: int, now: float) -> None:
         """Source-side bookkeeping after a target confirmed installation."""
         peer = self.peer
-        dq = self.adverts_recent.get(node)
-        if dq is None:
-            dq = deque(maxlen=peer.cfg.rmap)
-            self.adverts_recent[node] = dq
-        if target in dq:
-            dq.remove(target)
-        dq.appendleft(target)
+        advert_push(self.adverts_recent, node, target, peer.cfg.rmap)
         entry = peer.maps.get(node)
         if entry is not None:
             if target in entry:

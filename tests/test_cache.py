@@ -9,7 +9,7 @@ class TestBasics:
     def test_put_get(self):
         c = LRUCache(capacity=4)
         c.put(1, [10, 11])
-        assert c.get(1) == [10, 11]
+        assert list(c.get(1)) == [10, 11]
 
     def test_miss(self):
         c = LRUCache(capacity=4)
@@ -79,18 +79,18 @@ class TestEntryMerging:
         c = LRUCache(capacity=2, rmap=3)
         c.put(1, [10])
         c.put(1, [11, 12, 13])
-        assert c.peek(1) == [10, 11, 12]
+        assert list(c.peek(1)) == [10, 11, 12]
 
     def test_put_dedupes(self):
         c = LRUCache(capacity=2, rmap=4)
         c.put(1, [10, 10, 11])
-        assert c.peek(1) == [10, 11]
+        assert list(c.peek(1)) == [10, 11]
 
     def test_replace(self):
         c = LRUCache(capacity=2)
         c.put(1, [10])
         c.replace(1, [20, 21])
-        assert c.peek(1) == [20, 21]
+        assert list(c.peek(1)) == [20, 21]
 
     def test_replace_empty_removes(self):
         c = LRUCache(capacity=2)
@@ -102,7 +102,7 @@ class TestEntryMerging:
         c = LRUCache(capacity=2)
         c.put(1, [10, 11])
         c.remove_server(1, 10)
-        assert c.peek(1) == [11]
+        assert list(c.peek(1)) == [11]
         c.remove_server(1, 11)
         assert 1 not in c
 

@@ -44,7 +44,7 @@ class TestCommon:
             get_scale("nope")
 
     def test_scales_registered(self):
-        assert set(SCALES) == {"tiny", "small", "paper"}
+        assert set(SCALES) == {"tiny", "small", "paper", "million"}
 
     def test_rate_for_utilization(self):
         # util = rate * hops * T / N

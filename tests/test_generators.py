@@ -1,8 +1,12 @@
 """Unit tests for namespace generators."""
 
+import hashlib
+import random
+
 import pytest
 
 from repro.namespace.generators import (
+    _FrontierSampler,
     assign_nodes_to_servers,
     balanced_tree,
     coda_like_tree,
@@ -10,6 +14,10 @@ from repro.namespace.generators import (
     random_tree,
     university_tree,
 )
+
+
+def _parent_digest(ns) -> str:
+    return hashlib.sha256(",".join(map(str, ns.parent)).encode()).hexdigest()
 
 
 class TestBalancedTree:
@@ -67,6 +75,16 @@ class TestRandomTree:
         max_pref = max(len(c) for c in pref.children)
         assert max_pref > max_uni
 
+    def test_preferential_fingerprints_pinned(self):
+        """Incremental weight maintenance reproduces the original
+        full-rebuild draws exactly (digests recorded pre-refactor)."""
+        assert _parent_digest(random_tree(1000, seed=11, attach_power=1.2)) == (
+            "89ac52826b6f4e28947c3c82175bcfca2052c5cf4084f34b04c919cda37b6387"
+        )
+        assert _parent_digest(random_tree(600, seed=2, attach_power=0.7)) == (
+            "cbb7a2470a1c6dc649e37d4de19185b0c04d9c643454a5bed2160ccae3623001"
+        )
+
 
 class TestCodaLikeTree:
     def test_exact_size(self):
@@ -89,6 +107,43 @@ class TestCodaLikeTree:
         assert sizes[-1] < len(ns) / 2
         fanouts = [len(c) for c in ns.children if c]
         assert max(fanouts) > 3 * (sum(fanouts) / len(fanouts))
+
+    def test_fingerprint_pinned(self):
+        """The O(log n) frontier sampler reproduces the original
+        ``list.pop(randrange)`` selection sequence (pre-refactor digest)."""
+        assert _parent_digest(coda_like_tree(n_nodes=8000, seed=42)) == (
+            "9d1235db1d30e834cd70a0d425ffd369d59c683f591553df6194312ade2d489e"
+        )
+
+
+class TestFrontierSampler:
+    def test_matches_list_semantics(self):
+        """pop(i)/append behave exactly like a plain list across a long
+        random interleaving (including compaction thresholds)."""
+        rng = random.Random(123)
+        sampler = _FrontierSampler()
+        model = []
+        serial = 0
+        for _ in range(20000):
+            if model and rng.random() < 0.55:
+                idx = rng.randrange(len(model))
+                assert sampler.pop(idx) == model.pop(idx)
+            else:
+                item = (serial, serial % 7)
+                serial += 1
+                sampler.append(item)
+                model.append(item)
+            assert len(sampler) == len(model)
+        while model:
+            assert sampler.pop(0) == model.pop(0)
+
+    def test_pop_out_of_range(self):
+        s = _FrontierSampler()
+        with pytest.raises(IndexError):
+            s.pop(0)
+        s.append((1, 1))
+        with pytest.raises(IndexError):
+            s.pop(1)
 
 
 class TestUniversityTree:

@@ -34,7 +34,7 @@ class TestPinning:
                     and not p.hosts(v))
         p.pin(free, [3])
         p.unpin(free)
-        assert p.cache.peek(free) == [3]
+        assert list(p.cache.peek(free)) == [3]
 
     def test_unpin_no_cache_when_disabled(self):
         ns, system = make(caching_enabled=False)

@@ -61,11 +61,12 @@ class LRUCacheModel(RuleBasedStateMachine):
         expected = self.model.get(node)
         if expected is not None:
             self.model.move_to_end(node)
-        assert got == expected
+        assert (None if got is None else list(got)) == expected
 
     @rule(node=st.integers(0, 9))
     def peek(self, node):
-        assert self.cache.peek(node) == self.model.get(node)
+        got = self.cache.peek(node)
+        assert (None if got is None else list(got)) == self.model.get(node)
 
     @rule(node=st.integers(0, 9))
     def touch(self, node):

@@ -12,6 +12,7 @@
 #   make profile      run fig3 under the event-loop profiler
 #   make bench-micro  hot-path events/sec vs the committed BENCH_micro.json
 #   make mem          build both 10^6-node namespaces under the 2 GB RSS budget
+#   make shard-check  sharded engine fingerprints bit-identical to serial
 
 PYTHON ?= python
 PROFILE_FIGS ?= fig3
@@ -46,8 +47,11 @@ bench-micro:
 mem:
 	$(PYTHON) -m repro mem-smoke
 
+shard-check:
+	$(PYTHON) -m repro shard-check --shards 1,2,4
+
 outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem
+.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem shard-check

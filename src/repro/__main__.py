@@ -11,7 +11,10 @@
   NullSink micro-benchmark (see :mod:`repro.experiments.bench_micro`);
 * ``python -m repro mem-smoke [--nodes N] [--budget-mb MB]`` -- the
   million-node namespace build smoke under an RSS budget
-  (see :mod:`repro.experiments.mem_smoke`).
+  (see :mod:`repro.experiments.mem_smoke`);
+* ``python -m repro shard-check [--shards 1,4]`` -- verify sharded
+  windowed runs are bit-identical to the serial engine
+  (see :mod:`repro.sim.shard`).
 """
 
 import sys
@@ -34,6 +37,10 @@ def main(argv) -> int:
         from repro.experiments.mem_smoke import main as mem_main
 
         return mem_main(argv[1:])
+    if argv and argv[0] == "shard-check":
+        from repro.sim.shard import main as shard_main
+
+        return shard_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     runner_main(argv)

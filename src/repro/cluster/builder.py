@@ -6,23 +6,133 @@ neighbor of each node it owns (its routing contexts), seeds its own
 digest with its owned nodes, and learns the loads of a few random peers
 so replication has somewhere to start before in-band dissemination
 takes over.
+
+Sharded construction (:func:`build_shard_system`) wires the same
+deployment one shard at a time: only the shard's own servers are
+materialised, but every *global* random draw of the serial build (the
+uniform node assignment, the heterogeneity sample, the per-server
+bootstrap samples) is replayed identically in each shard and applied
+only where it lands locally -- so the union of the shards is, state
+for state, the serial system.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.cluster.config import SystemConfig
-from repro.cluster.system import System
+from repro.cluster.system import ShardSystem, System
 from repro.filters.digest import Digest, DigestDirectory
 from repro.namespace.generators import assign_nodes_to_servers
 from repro.namespace.tree import Namespace
 from repro.server.peer import Peer
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, ShardError
 from repro.sim.profile import make_engine, note_system
 from repro.sim.stats import StatsSink
+
+
+def _resolve_owner(
+    ns: Namespace, cfg: SystemConfig, owner: Optional[Sequence[int]]
+) -> List[int]:
+    """Validate or default the node-to-server assignment."""
+    if cfg.n_servers > len(ns):
+        raise ValueError(
+            f"n_servers ({cfg.n_servers}) exceeds node count ({len(ns)}); "
+            "every server must own at least one node"
+        )
+    if owner is None:
+        return assign_nodes_to_servers(ns, cfg.n_servers, seed=cfg.seed)
+    owner_list = list(owner)
+    if len(owner_list) != len(ns):
+        raise ValueError("owner assignment length must equal node count")
+    if any(not 0 <= o < cfg.n_servers for o in owner_list):
+        raise ValueError("owner ids out of range")
+    return owner_list
+
+
+def _populate_system(
+    system: System, owner_list: List[int], sids: Iterable[int]
+) -> None:
+    """Construct and wire the peers for ``sids`` into ``system``.
+
+    The serial build passes every sid; a shard build passes its local
+    subset.  Global RNG draws (heterogeneity, bootstrap) are replayed
+    in full either way so any subset of servers sees exactly the draws
+    the serial build would have dealt it.
+    """
+    ns, cfg = system.ns, system.cfg
+    sids = list(sids)
+    sparse = getattr(system, "local_peers", None) is not None
+
+    # shared Bloom geometry for all digests: capacity sized to the
+    # worst-case hosted set (owned + replica allowance), so snapshots
+    # are cross-evaluable and the FP rate holds under replication.
+    per_server = max(1, math.ceil(len(ns) / cfg.n_servers))
+    digest_capacity = max(16, math.ceil(per_server * (1.0 + max(cfg.rfact, 1.0))))
+
+    owned_by: Dict[int, List[int]] = {sid: [] for sid in sids}
+    for node, srv in enumerate(owner_list):
+        nodes = owned_by.get(srv)
+        if nodes is not None:
+            nodes.append(node)
+
+    shared_pos_cache = None
+    for sid in sids:
+        peer = Peer(sid, system, owned=())
+        peer.digest = Digest(
+            digest_capacity, fp_rate=cfg.digest_fp_rate, owner_server=sid
+        )
+        # all digests share geometry; share the hash-position cache so
+        # each node id is hashed once per process, not once per filter
+        if shared_pos_cache is None:
+            shared_pos_cache = peer.digest.bloom.pos_cache
+        else:
+            peer.digest.bloom.pos_cache = shared_pos_cache
+        peer.digest_dir = DigestDirectory(
+            peer.digest, max_peers=cfg.digest_dir_max
+        )
+        if sparse:
+            system.peers[sid] = peer
+            system.local_peers.append(peer)
+        else:
+            system.peers.append(peer)
+        system.transport.register(sid, peer.deliver)
+
+    # ownership and routing contexts
+    for sid in sids:
+        peer = system.peers[sid]
+        for node in owned_by[sid]:
+            peer.adopt_node(node)
+        for node in owned_by[sid]:
+            for nbr in ns.neighbors(node):
+                peer.pin(nbr, (owner_list[nbr],))
+
+    # heterogeneity: mark a fraction of servers slow (locally
+    # normalized load metric absorbs the difference, section 3.1);
+    # one global draw, applied wherever it lands locally
+    if cfg.slow_server_fraction > 0.0 and cfg.slow_factor > 1.0:
+        het_rng = random.Random(cfg.seed ^ 0x51095109)
+        n_slow = int(round(cfg.slow_server_fraction * cfg.n_servers))
+        for sid in het_rng.sample(range(cfg.n_servers), n_slow):
+            peer = system.peers[sid] if sid < len(system.peers) else None
+            if peer is not None:
+                peer.service_mean = cfg.service_mean * cfg.slow_factor
+
+    # bootstrap load knowledge: a few random peers, believed idle.
+    # Draws are replayed for *every* server in sid order -- skipping
+    # remote sids would shift the stream and desynchronise shards.
+    if cfg.bootstrap_known_peers > 0 and cfg.n_servers > 1:
+        boot_rng = random.Random(cfg.seed ^ 0x5EED0B00)
+        k = min(cfg.bootstrap_known_peers, cfg.n_servers - 1)
+        for sid in range(cfg.n_servers):
+            others = [s for s in range(cfg.n_servers) if s != sid]
+            picks = boot_rng.sample(others, k)
+            peer = system.peers[sid] if sid < len(system.peers) else None
+            if peer is not None:
+                for s in picks:
+                    peer.known_loads[s] = (0.0, 0.0)
 
 
 def build_system(
@@ -47,79 +157,60 @@ def build_system(
         ValueError: when there are more servers than nodes (every
             server must own at least one node for routing progress).
     """
-    if cfg.n_servers > len(ns):
-        raise ValueError(
-            f"n_servers ({cfg.n_servers}) exceeds node count ({len(ns)}); "
-            "every server must own at least one node"
-        )
-    if owner is None:
-        owner_list = assign_nodes_to_servers(ns, cfg.n_servers, seed=cfg.seed)
-    else:
-        owner_list = list(owner)
-        if len(owner_list) != len(ns):
-            raise ValueError("owner assignment length must equal node count")
-        if any(not 0 <= o < cfg.n_servers for o in owner_list):
-            raise ValueError("owner ids out of range")
-
+    owner_list = _resolve_owner(ns, cfg, owner)
     # the profile module hands out ProfiledEngines when profiling is
-    # enabled (python -m repro profile ...), plain Engines otherwise
-    engine = engine or make_engine()
+    # enabled (python -m repro profile ...), plain Engines otherwise.
+    # Explicit None check: an empty Engine is falsy (len() == 0), so
+    # ``engine or make_engine()`` would drop a caller's fresh engine.
+    if engine is None:
+        engine = make_engine()
     system = System(ns, cfg, engine, owner_list, stats=stats)
-
-    # shared Bloom geometry for all digests: capacity sized to the
-    # worst-case hosted set (owned + replica allowance), so snapshots
-    # are cross-evaluable and the FP rate holds under replication.
-    per_server = max(1, math.ceil(len(ns) / cfg.n_servers))
-    digest_capacity = max(16, math.ceil(per_server * (1.0 + max(cfg.rfact, 1.0))))
-
-    owned_by: List[List[int]] = [[] for _ in range(cfg.n_servers)]
-    for node, srv in enumerate(owner_list):
-        owned_by[srv].append(node)
-
-    shared_pos_cache = None
-    for sid in range(cfg.n_servers):
-        peer = Peer(sid, system, owned=())
-        peer.digest = Digest(
-            digest_capacity, fp_rate=cfg.digest_fp_rate, owner_server=sid
-        )
-        # all digests share geometry; share the hash-position cache so
-        # each node id is hashed once per process, not once per filter
-        if shared_pos_cache is None:
-            shared_pos_cache = peer.digest.bloom.pos_cache
-        else:
-            peer.digest.bloom.pos_cache = shared_pos_cache
-        peer.digest_dir = DigestDirectory(
-            peer.digest, max_peers=cfg.digest_dir_max
-        )
-        system.peers.append(peer)
-        system.transport.register(sid, peer.deliver)
-
-    # ownership and routing contexts
-    for sid, peer in enumerate(system.peers):
-        for node in owned_by[sid]:
-            peer.adopt_node(node)
-        for node in owned_by[sid]:
-            for nbr in ns.neighbors(node):
-                peer.pin(nbr, (owner_list[nbr],))
-
-    # heterogeneity: mark a fraction of servers slow (locally
-    # normalized load metric absorbs the difference, section 3.1)
-    if cfg.slow_server_fraction > 0.0 and cfg.slow_factor > 1.0:
-        het_rng = random.Random(cfg.seed ^ 0x51095109)
-        n_slow = int(round(cfg.slow_server_fraction * cfg.n_servers))
-        for sid in het_rng.sample(range(cfg.n_servers), n_slow):
-            system.peers[sid].service_mean = cfg.service_mean * cfg.slow_factor
-
-    # bootstrap load knowledge: a few random peers, believed idle
-    if cfg.bootstrap_known_peers > 0 and cfg.n_servers > 1:
-        boot_rng = random.Random(cfg.seed ^ 0x5EED0B00)
-        k = min(cfg.bootstrap_known_peers, cfg.n_servers - 1)
-        for peer in system.peers:
-            others = [s for s in range(cfg.n_servers) if s != peer.sid]
-            for s in boot_rng.sample(others, k):
-                peer.known_loads[s] = (0.0, 0.0)
-
+    _populate_system(system, owner_list, range(cfg.n_servers))
     # register with the profiler (no-op unless profiling is active) so
     # per-peer routing-decision counters appear in the profile report
+    note_system(system)
+    return system
+
+
+def build_shard_system(
+    ns: Namespace,
+    cfg: SystemConfig,
+    shard_id: int,
+    n_shards: int,
+    owner: Optional[Sequence[int]] = None,
+    engine: Optional[Engine] = None,
+    stats: Optional[StatsSink] = None,
+) -> ShardSystem:
+    """Wire one shard's slice of a sharded deployment.
+
+    Servers are partitioned across shards in contiguous balanced
+    blocks (:func:`repro.net.transport.shard_of_sid`) over the same
+    uniform node-to-server assignment the serial build uses; only this
+    shard's servers are constructed.
+
+    Raises:
+        ShardError: when the config cannot run sharded --
+            ``oracle_maps`` reads other peers' state directly, and the
+            transport additionally rejects ``net_jitter > 0`` and
+            ``net_delay == 0`` (no constant lookahead).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards > cfg.n_servers:
+        raise ValueError(
+            f"n_shards ({n_shards}) exceeds n_servers ({cfg.n_servers})"
+        )
+    if cfg.oracle_maps:
+        raise ShardError(
+            "oracle_maps consults ground-truth peer state across shards; "
+            "run oracle comparisons on the serial engine"
+        )
+    owner_list = _resolve_owner(ns, cfg, owner)
+    if engine is None:
+        engine = make_engine(label=f"shard{shard_id}")
+    system = ShardSystem(
+        ns, cfg, engine, owner_list, shard_id, n_shards, stats=stats
+    )
+    _populate_system(system, owner_list, system.local_sids)
     note_system(system)
     return system

@@ -12,17 +12,17 @@ event-heap pressure low.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.config import SystemConfig
 from repro.namespace.tree import Namespace
-from repro.net.transport import Transport
-from repro.sim.engine import Engine
+from repro.net.transport import ShardTransport, Transport, shard_sids
+from repro.sim.engine import Engine, ShardError
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsSink, SystemStats
 from repro.sim.timerwheel import TimerWheel
 
-__all__ = ["System", "SystemStats"]
+__all__ = ["ShardSystem", "System", "SystemStats"]
 
 
 class System:
@@ -58,10 +58,7 @@ class System:
         self.ns = ns
         self.cfg = cfg
         self.engine = engine
-        self.transport = Transport(
-            engine, cfg.net_delay, net_jitter=cfg.net_jitter,
-            jitter_seed=cfg.seed,
-        )
+        self.transport = self._build_transport(engine, cfg)
         # cancel-heavy timers (client lookup timeouts) stay off the heap
         self.timers = TimerWheel(engine)
         self.stats = stats if stats is not None else SystemStats(ns.max_depth)
@@ -71,6 +68,13 @@ class System:
         self._qid = 0
         self._maintenance_scheduled = False
         self.on_inject = None  # optional (now, src, dest) tap for tracing
+
+    def _build_transport(self, engine: Engine, cfg: SystemConfig) -> Transport:
+        """Transport factory; :class:`ShardSystem` substitutes its own."""
+        return Transport(
+            engine, cfg.net_delay, net_jitter=cfg.net_jitter,
+            jitter_seed=cfg.seed,
+        )
 
     # ------------------------------------------------------------------
     # client API
@@ -193,4 +197,160 @@ class System:
         return (
             f"System(servers={len(self.peers)}, nodes={len(self.ns)}, "
             f"t={self.engine.now:.2f})"
+        )
+
+
+class ShardSystem(System):
+    """One shard's slice of a sharded deployment.
+
+    Only the servers assigned to this shard are materialised;
+    ``peers`` stays a full-length, sid-indexed list (``None`` for
+    remote servers) so existing sid-based indexing keeps working, with
+    ``local_peers`` as the dense ascending-sid view every local loop
+    (maintenance ticks, introspection) iterates.
+
+    Workload injection is pre-generated: the coordinator partitions the
+    arrival schedule (:func:`repro.workload.arrivals.iter_arrivals`)
+    across shards with globally assigned query ids, and :meth:`feed`
+    replays this shard's slice through a single self-rescheduling
+    feeder event -- the same one-pending-event discipline as the
+    delivery ring.
+
+    Build one with :func:`repro.cluster.builder.build_shard_system`.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "n_shards",
+        "local_sids",
+        "local_peers",
+        "_arrivals",
+        "_arrival_idx",
+    )
+
+    def __init__(
+        self,
+        ns: Namespace,
+        cfg: SystemConfig,
+        engine: Engine,
+        owner: List[int],
+        shard_id: int,
+        n_shards: int,
+        stats: Optional[StatsSink] = None,
+    ) -> None:
+        if not 0 <= shard_id < n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range for {n_shards}")
+        # set before super().__init__: _build_transport reads them
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.local_sids = shard_sids(shard_id, cfg.n_servers, n_shards)
+        super().__init__(ns, cfg, engine, owner, stats=stats)
+        self.peers = [None] * cfg.n_servers
+        self.local_peers: List = []
+        self._arrivals: Sequence[Tuple[float, int, int, int]] = ()
+        self._arrival_idx = 0
+
+    def _build_transport(self, engine: Engine, cfg: SystemConfig) -> Transport:
+        return ShardTransport(
+            engine, cfg.net_delay, shard_id=self.shard_id,
+            n_shards=self.n_shards, n_servers=cfg.n_servers,
+            net_jitter=cfg.net_jitter, jitter_seed=cfg.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # pre-generated workload
+    # ------------------------------------------------------------------
+
+    def inject(self, src_server: int, dest_node: int, qid: Optional[int] = None) -> int:
+        """Initiate a lookup with a *pre-assigned* global query id.
+
+        Sharded runs cannot mint query ids locally (ids must match the
+        serial run's arrival-order assignment), so the coordinator
+        passes them in with each arrival.
+        """
+        if qid is None:
+            raise ShardError(
+                "ShardSystem.inject needs a pre-assigned qid; drive "
+                "sharded runs through the WindowedCoordinator"
+            )
+        self._qid = qid
+        if self.on_inject is not None:
+            self.on_inject(self.engine.now, src_server, dest_node)
+        self.peers[src_server].inject(dest_node, qid)
+        return qid
+
+    def feed(self, arrivals: Sequence[Tuple[float, int, int, int]]) -> None:
+        """Schedule this shard's ``(time, src, dest, qid)`` arrivals."""
+        self._arrivals = arrivals
+        self._arrival_idx = 0
+        if arrivals:
+            self.engine.schedule(arrivals[0][0], self._next_arrival)
+
+    def _next_arrival(self) -> None:
+        t, src, dest, qid = self._arrivals[self._arrival_idx]
+        self._arrival_idx += 1
+        self.inject(src, dest, qid=qid)
+        if self._arrival_idx < len(self._arrivals):
+            self.engine.schedule(
+                self._arrivals[self._arrival_idx][0], self._next_arrival
+            )
+
+    # ------------------------------------------------------------------
+    # maintenance over local peers only
+    # ------------------------------------------------------------------
+
+    def _tick_windows(self) -> None:
+        now = self.engine.now
+        sample = (
+            self.cfg.sample_loads_every > 0
+            and int(now / self.cfg.load_window)
+            % max(1, int(round(self.cfg.sample_loads_every / self.cfg.load_window)))
+            == 0
+        )
+        stats = self.stats
+        for peer in self.local_peers:
+            if peer.failed:
+                continue
+            load = peer.roll_window(now)
+            if sample:
+                stats.sample_load(now, load)
+        self.engine.schedule_after(self.cfg.load_window, self._tick_windows)
+
+    def _tick_ranking(self) -> None:
+        for peer in self.local_peers:
+            peer.rescale_ranking()
+        self.engine.schedule_after(
+            self.cfg.rank_rescale_interval, self._tick_ranking
+        )
+
+    def _tick_idle_eviction(self) -> None:
+        now = self.engine.now
+        for peer in self.local_peers:
+            peer.evict_idle_replicas(now)
+        self.engine.schedule_after(
+            self.cfg.replica_idle_timeout, self._tick_idle_eviction
+        )
+
+    # ------------------------------------------------------------------
+    # introspection over local peers only
+    # ------------------------------------------------------------------
+
+    def total_replicas(self) -> int:
+        return sum(len(p.replicas) for p in self.local_peers)
+
+    def loads(self, now: Optional[float] = None) -> List[float]:
+        t = self.engine.now if now is None else now
+        return [p.meter.load(t) for p in self.local_peers]
+
+    def hosted_counts(self) -> List[int]:
+        return [p.n_hosted for p in self.local_peers]
+
+    def hosts_of(self, node: int) -> List[int]:
+        return [p.sid for p in self.local_peers if p.hosts(node)]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardSystem(shard={self.shard_id}/{self.n_shards}, "
+            f"servers={len(self.local_peers)}/{self.cfg.n_servers}, "
+            f"nodes={len(self.ns)}, t={self.engine.now:.2f})"
         )

@@ -27,6 +27,12 @@ dispatches and wall time are reported alongside for transparency.
   the per-hop candidate search (ancestor-indexed walk vs linear scans
   over hosted + cache state); the large case is the one that gates
   scaled-up ``fig9`` runs.
+* ``shard_window`` -- the ``end_to_end`` workload on the 2-shard
+  windowed coordinator (inline backend, so the number isolates the
+  windowed protocol's overhead: barriers, egress exchange, stats-log
+  replay -- not multiprocessing).  Gates the sharded run loop: its
+  single-core cost must stay close enough to serial that the
+  process backend's multi-core scaling nets out ahead.
 
 The composite ``headline`` is the geometric mean of the scenario rates.
 
@@ -220,12 +226,37 @@ def bench_routing_decide_large() -> Dict[str, float]:
     )
 
 
+def bench_shard_window() -> Dict[str, float]:
+    """The ``end_to_end`` workload under the 2-shard windowed loop.
+
+    Inline backend on purpose: wall time then measures what sharding
+    *adds* on one core (shard construction, window barriers, egress
+    merge, event-log replay), which is the overhead the multi-core
+    process backend has to amortise.
+    """
+    from repro.sim.shard import WindowedCoordinator
+    from repro.workload.streams import uzipf_stream
+
+    ns = balanced_tree(levels=8)
+    cfg = SystemConfig.replicated(n_servers=16, seed=9, cache_slots=16)
+    spec = uzipf_stream(rate=400.0, duration=4.0, alpha=1.0, seed=9)
+    coord = WindowedCoordinator(ns, cfg, spec, 2, backend="inline")
+    t0 = time.perf_counter()
+    run = coord.run(spec.duration + 5.0)
+    wall = time.perf_counter() - t0
+    msgs = run.transport.n_sent + run.transport.n_control_sent
+    return {"events": msgs, "engine_events": run.engine.n_dispatched,
+            "wall_s": wall, "events_per_sec": msgs / wall,
+            "mem_bytes": deep_sizeof(run)}
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "transport_chain": bench_transport_chain,
     "end_to_end": bench_end_to_end,
     "client_load": bench_client_load,
     "routing_decide_small": bench_routing_decide_small,
     "routing_decide_large": bench_routing_decide_large,
+    "shard_window": bench_shard_window,
 }
 
 

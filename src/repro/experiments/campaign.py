@@ -639,6 +639,12 @@ def main(argv: List[str]) -> int:
         "--retries", type=int, default=1, metavar="N",
         help="extra attempts per failing run (default: 1)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard engines per run (default: $REPRO_SHARDS, serial if "
+        "unset); composes with --jobs campaign-first -- each run only "
+        "spawns shard processes out of the CPUs --jobs leaves free",
+    )
     args = parser.parse_args(argv)
     if args.resume and args.no_cache:
         parser.error("--resume and --no-cache are mutually exclusive")
@@ -650,11 +656,19 @@ def main(argv: List[str]) -> int:
             f"unknown experiments {unknown}; choose from {list(_MODULES)}"
         )
 
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        # run-level sharding travels by environment so campaign worker
+        # processes (and their run functions) pick it up uniformly
+        os.environ["REPRO_SHARDS"] = str(args.shards)
+
     scale = get_scale()
     seed = get_seed()
+    shards = os.environ.get("REPRO_SHARDS", "").strip() or "1"
     print(
         f"scale={scale.name}  seed={seed}  out={args.out}  "
-        f"cache={'off' if args.no_cache else 'on'}"
+        f"cache={'off' if args.no_cache else 'on'}  shards={shards}"
     )
     groups: List[Tuple[str, List[RunSpec]]] = []
     all_specs: List[RunSpec] = []

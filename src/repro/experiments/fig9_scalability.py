@@ -15,7 +15,6 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.series import rate_series
 from repro.analysis.summary import run_summary
-from repro.cluster.builder import build_system
 from repro.cluster.config import SystemConfig
 from repro.experiments.campaign import Experiment, RunSpec, execute_specs
 from repro.experiments.common import (
@@ -25,8 +24,8 @@ from repro.experiments.common import (
     rate_for_utilization,
 )
 from repro.namespace.generators import balanced_tree
+from repro.sim.shard import run_sharded_workload
 from repro.workload.streams import cuzipf_stream
-from repro.workload.arrivals import WorkloadDriver
 
 
 def sweep_sizes(scale: Scale) -> List[int]:
@@ -66,7 +65,6 @@ def fig9_point(
         rmap=rmap,
         rfact=2.0,
     )
-    system = build_system(ns, cfg)
     rate = rate_for_utilization(
         utilization, n_servers, hops_estimate=scale.hops_estimate
     )
@@ -77,9 +75,9 @@ def fig9_point(
         rate, alpha, warmup=run_time / 3, phase=run_time / 3,
         n_phases=2, seed=seed,
     )
-    driver = WorkloadDriver(system, spec)
-    driver.start()
-    system.run_until(spec.duration + scale.drain)
+    # honours REPRO_SHARDS (--shards): >1 runs this point on the
+    # windowed multi-engine coordinator, bit-identical to serial
+    system = run_sharded_workload(ns, cfg, spec, spec.duration + scale.drain)
     summary = run_summary(system)
     summary["latency_hops"] = summary["mean_hops"]
     summary["rate"] = rate

@@ -89,6 +89,99 @@ def _invoke(payload):
         ) from exc
 
 
+def shard_process_budget(workers: Optional[int] = None) -> int:
+    """Worker processes one sharded *run* may claim without
+    oversubscribing the machine.
+
+    Campaign-level parallelism composes with run-level sharding: a
+    campaign running W concurrent tasks (``REPRO_WORKERS``) in which
+    each task shards across S engines (``REPRO_SHARDS``) would occupy
+    W x S cores.  Precedence is campaign-first -- ``REPRO_WORKERS``
+    claims its cores and each run divides the remainder::
+
+        budget = cpu_count // max(1, campaign workers)
+
+    so ``REPRO_WORKERS=auto REPRO_SHARDS=4`` runs the shards inline
+    (budget 1 per run) rather than stacking 4 engines on every core,
+    while a lone ``REPRO_SHARDS=4`` run on an 8-core host gets all 4
+    processes.  The shard backend resolver
+    (:func:`repro.sim.shard.resolve_backend`) consults this: ``auto``
+    never exceeds the budget, an explicit ``process`` request may but
+    warns.
+
+    Args:
+        workers: campaign worker count; None consults ``REPRO_WORKERS``
+            (``auto`` counts as one per core, i.e. budget 1).
+    """
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "0").strip().lower()
+        if raw in ("", "0", "none"):
+            workers = 1
+        elif raw == "auto":
+            workers = cpus
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                workers = 1
+    return max(1, cpus // max(1, workers))
+
+
+class PersistentWorker:
+    """A long-lived spawn-context subprocess driven over a duplex pipe.
+
+    ``parallel_map``'s pool fits stateless fan-out; sharded simulation
+    needs the opposite -- each worker holds an engine heap and peer
+    state across many request/response rounds (one per time window).
+    The target must be a module-level callable taking the child end of
+    the pipe; it receives ``(op, payload)`` tuples and replies
+    ``("ok", result)`` or ``("error", traceback_text)``.
+    """
+
+    __slots__ = ("proc", "_conn")
+
+    def __init__(self, target: Callable[..., None]) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=target, args=(child,), daemon=True)
+        self.proc.start()
+        child.close()
+
+    def send(self, msg: Any) -> None:
+        self._conn.send(msg)
+
+    def recv(self) -> Any:
+        try:
+            status, payload = self._conn.recv()
+        except EOFError:
+            raise ParallelTaskError(
+                f"shard worker pid={self.proc.pid} exited unexpectedly"
+            ) from None
+        if status == "error":
+            raise ParallelTaskError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def request(self, msg: Any) -> Any:
+        self.send(msg)
+        return self.recv()
+
+    def close(self) -> None:
+        """Ask the worker to exit; escalate to terminate if it won't."""
+        try:
+            self._conn.send(("exit", None))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():  # pragma: no cover - hung worker
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+
+
 def parallel_map(
     fn: Callable[..., Any],
     kwargs_list: Sequence[Dict[str, Any]],

@@ -29,12 +29,34 @@ with ``net_jitter > 0`` delivery times are not monotone, and with
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, EventHandle, ShardError
 from repro.sim.rng import exponential
+
+
+def shard_of_sid(sid: int, n_servers: int, n_shards: int) -> int:
+    """The shard owning server ``sid`` (contiguous balanced blocks).
+
+    Contiguity matters for determinism, not just locality: per-shard
+    event logs are merged by ``(time, shard, seq)`` at barriers, and
+    simultaneous per-server records (the maintenance tick's load
+    samples) are emitted in ascending sid order within each shard -- so
+    monotone contiguous blocks make the merged order equal the serial
+    all-sids-ascending order exactly.
+    """
+    return sid * n_shards // n_servers
+
+
+def shard_sids(shard_id: int, n_servers: int, n_shards: int) -> List[int]:
+    """All server ids assigned to ``shard_id``."""
+    return [
+        s for s in range(n_servers)
+        if shard_of_sid(s, n_servers, n_shards) == shard_id
+    ]
 
 
 class Transport:
@@ -168,3 +190,170 @@ class Transport:
     @property
     def n_servers(self) -> int:
         return len(self._endpoints)
+
+
+class ShardTransport(Transport):
+    """One shard's slice of the transport under windowed execution.
+
+    Local deliveries keep the constant-delay ring fast path; sends to
+    servers on other shards are buffered in per-destination-shard
+    egress lists that the :class:`~repro.sim.shard.WindowedCoordinator`
+    exchanges at each window barrier.  Every in-flight entry is a
+    ``(deliver_at, src_shard, send_seq, dest, msg)`` tuple: the leading
+    triple is a globally unique, totally ordered key (``send_seq`` is a
+    per-shard monotone counter), so merging remote batches into the
+    local ring with :func:`heapq.merge` yields one canonical delivery
+    order -- ties in ``deliver_at`` across shards break by
+    ``(src_shard, send_seq)``, which is the documented merge rule.
+
+    Constant lookahead is load-bearing: with ``net_jitter > 0``
+    delivery times are not ``now + net_delay`` and the window argument
+    collapses, and with ``net_delay == 0`` the window width would be
+    zero -- both raise :class:`~repro.sim.engine.ShardError` so callers
+    fall back to the serial engine loudly, never silently diverge.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "n_shards",
+        "total_servers",
+        "_send_seq",
+        "_egress",
+        "_drain_handle",
+        "_drain_at",
+    )
+
+    def __init__(
+        self,
+        engine: Engine,
+        net_delay: float,
+        *,
+        shard_id: int,
+        n_shards: int,
+        n_servers: int,
+        net_jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> None:
+        if net_jitter > 0:
+            raise ShardError(
+                "sharded execution requires constant delivery delay "
+                f"(net_jitter={net_jitter} breaks the conservative "
+                "lookahead); run with net_jitter=0 or on the serial engine"
+            )
+        if net_delay <= 0:
+            raise ShardError(
+                "sharded execution requires net_delay > 0 "
+                "(the window width equals the delivery delay)"
+            )
+        if not 0 <= shard_id < n_shards:
+            raise ValueError(f"shard_id {shard_id} out of range for {n_shards}")
+        super().__init__(engine, net_delay, net_jitter=0.0,
+                         jitter_seed=jitter_seed)
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.total_servers = n_servers
+        self._send_seq = 0
+        self._egress: Dict[int, List[Tuple]] = {}
+        self._drain_handle: Optional[EventHandle] = None
+        self._drain_at = 0.0
+
+    # ------------------------------------------------------------------
+
+    def send(self, dest: int, msg: Any, control: bool = False) -> None:
+        """Ring-buffer local deliveries; buffer cross-shard sends."""
+        if not 0 <= dest < self.total_servers:
+            raise KeyError(f"no server registered with id {dest}")
+        if dest in self.failed:
+            self._lose(dest, msg)
+            return
+        if control:
+            self.n_control_sent += 1
+        else:
+            self.n_sent += 1
+        at = self.engine.now + self.net_delay
+        self._send_seq += 1
+        entry = (at, self.shard_id, self._send_seq, dest, msg)
+        dest_shard = shard_of_sid(dest, self.total_servers, self.n_shards)
+        if dest_shard == self.shard_id:
+            self._ring.append(entry)
+            if self._drain_handle is None:
+                self._arm(at)
+        else:
+            self._egress.setdefault(dest_shard, []).append(entry)
+
+    def _arm(self, at: float) -> None:
+        self._drain_handle = self.engine.schedule(
+            at, self._drain, handle=True
+        )
+        self._drain_at = at
+
+    def _drain(self) -> None:
+        """Deliver every ring entry due now, then re-arm for the head."""
+        ring = self._ring
+        now = self.engine.now
+        failed = self.failed
+        endpoints = self._endpoints
+        self._drain_handle = None
+        while ring and ring[0][0] <= now:
+            _, _, _, dest, msg = ring.popleft()
+            if dest in failed:
+                self._lose(dest, msg)
+            else:
+                endpoints[dest](msg)
+        if ring:
+            self._arm(ring[0][0])
+
+    # ------------------------------------------------------------------
+    # barrier protocol (driven by the WindowedCoordinator)
+    # ------------------------------------------------------------------
+
+    def collect_egress(self) -> Dict[int, List[Tuple]]:
+        """Hand over (and reset) the buffered cross-shard batches.
+
+        Each batch is already sorted by ``(deliver_at, src_shard,
+        send_seq)``: sends happen in non-decreasing engine time with a
+        monotone sequence counter, so append order is sorted order.
+        """
+        out = self._egress
+        self._egress = {}
+        return out
+
+    def ingest(self, batches: List[List[Tuple]]) -> None:
+        """Merge remote batches into the local ring (window barrier).
+
+        The merged ring is sorted by the canonical key; delivery then
+        proceeds through the normal drain, so entries sharing a
+        delivery time fire in key order exactly as documented.
+        """
+        batches = [b for b in batches if b]
+        if not batches:
+            return
+        merged = list(heapq.merge(list(self._ring), *batches))
+        if merged[0][0] < self.engine.now:
+            raise ShardError(
+                f"window protocol violation: message for t={merged[0][0]} "
+                f"arrived at barrier t={self.engine.now}"
+            )
+        self._ring = deque(merged)
+        if self._drain_handle is not None:
+            self._drain_handle.cancel()
+            self._drain_handle = None
+        self._arm(merged[0][0])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_in_flight(self) -> int:
+        """Ring entries plus not-yet-exchanged egress entries."""
+        return len(self._ring) + sum(len(b) for b in self._egress.values())
+
+    def fail_server(self, server_id: int) -> None:
+        """Fail-stop a *local* server (cross-shard failures need a
+        coordination channel the windowed protocol does not carry)."""
+        if server_id not in self._endpoints:
+            raise ShardError(
+                f"server {server_id} is not local to shard {self.shard_id}; "
+                "failure injection across shards is not supported -- run "
+                "resilience experiments on the serial engine"
+            )
+        self.failed.add(server_id)

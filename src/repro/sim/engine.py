@@ -18,6 +18,17 @@ class SimError(RuntimeError):
     """Raised for invalid engine operations (e.g. scheduling in the past)."""
 
 
+class ShardError(SimError):
+    """A configuration or operation incompatible with sharded execution.
+
+    Raised when the conservative windowed run loop cannot guarantee
+    bit-identical results: jittered delivery times (no constant
+    lookahead), zero network delay (zero-width windows), oracle map
+    filtering (direct cross-shard state reads), or window-protocol
+    violations (a message delivered into an already-executed window).
+    """
+
+
 class EventHandle:
     """Cancellation handle for a scheduled event (lazy deletion)."""
 
@@ -130,6 +141,45 @@ class Engine:
                 max_events and dispatched >= max_events
             ):
                 self.now = until
+        finally:
+            self._running = False
+            self.n_dispatched += dispatched
+
+    def run_window(self, end: float, inclusive: bool = False) -> None:
+        """Dispatch one conservative time window, then land on ``end``.
+
+        The windowed variant of :meth:`run` used by sharded execution
+        (:mod:`repro.sim.shard`): dispatches events strictly *before*
+        ``end`` (so an event scheduled exactly on a window boundary
+        runs in the window it opens, in every shard alike), then
+        advances the clock to exactly ``end`` so all shard clocks agree
+        at the barrier.  The final window of a run passes
+        ``inclusive=True``, which additionally dispatches events at
+        exactly ``end`` -- matching ``run(until=end)``'s inclusive
+        stopping rule, so a sharded run ends on the same events a
+        serial run does.
+        """
+        if self._running:
+            raise SimError("engine is not reentrant")
+        if end < self.now:
+            raise SimError(f"cannot run a window ending at {end} (now={self.now})")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        try:
+            while heap:
+                t = heap[0][0]
+                if t > end or (t == end and not inclusive):
+                    break
+                _, _, h, fn, args = pop(heap)
+                if h is not None and h.cancelled:
+                    continue
+                self.now = t
+                fn(*args)
+                dispatched += 1
+            if self.now < end:
+                self.now = end
         finally:
             self._running = False
             self.n_dispatched += dispatched

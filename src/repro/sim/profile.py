@@ -64,12 +64,15 @@ class ProfiledEngine(Engine):
     overhead).
     """
 
-    __slots__ = ("profile", "wall_time")
+    __slots__ = ("profile", "wall_time", "label")
 
-    def __init__(self) -> None:
+    def __init__(self, label: Optional[str] = None) -> None:
         super().__init__()
         self.profile: Dict[str, List] = {}
         self.wall_time = 0.0
+        # display label for multi-engine reports (e.g. "shard3" when a
+        # sharded run hands every shard its own profiled engine)
+        self.label = label
 
     def run(self, until: float = float("inf"), max_events: int = 0) -> None:
         """Identical semantics to :meth:`Engine.run`, plus timing."""
@@ -113,6 +116,46 @@ class ProfiledEngine(Engine):
             self.n_dispatched += dispatched
             self.wall_time += clock() - run_t0
 
+    def run_window(self, end: float, inclusive: bool = False) -> None:
+        """Identical semantics to :meth:`Engine.run_window`, plus timing."""
+        if self._running:
+            raise SimError("engine is not reentrant")
+        if end < self.now:
+            raise SimError(f"cannot run a window ending at {end} (now={self.now})")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        prof = self.profile
+        clock = time.perf_counter
+        dispatched = 0
+        run_t0 = clock()
+        try:
+            while heap:
+                t = heap[0][0]
+                if t > end or (t == end and not inclusive):
+                    break
+                _, _, h, fn, args = pop(heap)
+                if h is not None and h.cancelled:
+                    continue
+                self.now = t
+                key = getattr(fn, "__qualname__", None) or repr(fn)
+                t0 = clock()
+                fn(*args)
+                dt = clock() - t0
+                entry = prof.get(key)
+                if entry is None:
+                    prof[key] = [1, dt]
+                else:
+                    entry[0] += 1
+                    entry[1] += dt
+                dispatched += 1
+            if self.now < end:
+                self.now = end
+        finally:
+            self._running = False
+            self.n_dispatched += dispatched
+            self.wall_time += clock() - run_t0
+
     def __repr__(self) -> str:
         return (
             f"ProfiledEngine(now={self.now:.6f}, pending={len(self._heap)}, "
@@ -141,11 +184,22 @@ def reset() -> None:
     _SYSTEMS.clear()
 
 
-def make_engine() -> Engine:
-    """The builder's engine factory: plain or profiled per the switch."""
+def is_active() -> bool:
+    """True while profiling is enabled (make_engine returns ProfiledEngines)."""
+    return _ACTIVE
+
+
+def make_engine(label: Optional[str] = None) -> Engine:
+    """The builder's engine factory: plain or profiled per the switch.
+
+    Args:
+        label: display label for the engine in multi-engine reports
+            (sharded runs pass ``shard<N>``); ignored when profiling is
+            off.
+    """
     if not _ACTIVE:
         return Engine()
-    eng = ProfiledEngine()
+    eng = ProfiledEngine(label=label)
     _ENGINES.append(eng)
     return eng
 
@@ -202,7 +256,12 @@ def decision_counts(systems: Optional[List] = None) -> Dict[str, int]:
     """
     merged: Dict[str, int] = {}
     for system in (_SYSTEMS if systems is None else systems):
-        for p in system.peers:
+        # sharded systems keep a sparse peers list (None for servers
+        # living on other shards) plus a dense local_peers view
+        peers = getattr(system, "local_peers", None) or system.peers
+        for p in peers:
+            if p is None:
+                continue
             for k, v in p.router.decisions.items():
                 merged[k] = merged.get(k, 0) + v
     return merged
@@ -230,11 +289,30 @@ def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
         f"{'':>9} {overhead / wall if wall else 0.0:>6.1%}"
     )
     rate = n_events / wall if wall else 0.0
+    all_engs = engs if engs is not None else _ENGINES
     lines.append(
         f"total: {n_events:,} events in {wall:.3f}s wall "
         f"-> {rate:,.0f} events/sec "
-        f"({len(engs if engs is not None else _ENGINES)} engine(s))"
+        f"({len(all_engs)} engine(s))"
     )
+    if len(all_engs) > 1:
+        # one labeled line per engine, so sharded runs (one profiled
+        # engine per shard) show their per-shard split in the same report
+        lines.append("per-engine breakdown:")
+        for i, eng in enumerate(all_engs):
+            label = eng.label if eng.label is not None else f"engine{i}"
+            top = max(
+                eng.profile.items(), key=lambda kv: kv[1][1], default=None
+            )
+            top_txt = (
+                f"top {top[0]} {top[1][1] / eng.wall_time:.0%}"
+                if top and eng.wall_time else "idle"
+            )
+            erate = eng.n_dispatched / eng.wall_time if eng.wall_time else 0.0
+            lines.append(
+                f"  {label:<12} {eng.n_dispatched:>10,} events "
+                f"{eng.wall_time:>8.3f}s {erate:>10,.0f} ev/s  {top_txt}"
+            )
     decisions = decision_counts()
     total_dec = sum(decisions.values())
     if total_dec:

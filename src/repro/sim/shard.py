@@ -1,0 +1,986 @@
+"""Sharded simulation: N engines advancing in conservative time windows.
+
+The serial engine dispatches every event in one heap; at paper scale
+(1024 servers, millions of queries) the single-core dispatch loop is
+the wall-clock bottleneck.  The transport's constant delivery delay
+``d`` is a classic conservative-lookahead guarantee: a message sent at
+time ``t`` delivers at exactly ``t + d``, so events more than ``d``
+apart in simulated time cannot affect each other across servers.  The
+windowed run loop exploits this:
+
+1. Servers are partitioned across ``n_shards`` shard engines in
+   contiguous balanced blocks (:func:`repro.net.transport.shard_of_sid`)
+   over the same uniform node assignment the serial build uses.
+2. Every shard runs one window of width ``d`` (``Engine.run_window``),
+   buffering cross-shard sends in per-destination egress lists.
+3. At the window barrier the coordinator exchanges egress batches;
+   each shard merges them into its delivery ring by the canonical key
+   ``(deliver_at, src_shard, send_seq)`` and the next window begins.
+
+A send in window ``k`` delivers in window ``k + 1`` by construction
+(window width equals the delay and float addition is monotone -- see
+:func:`window_plan`), so no shard ever receives a message for a time
+it has already executed; :class:`~repro.sim.engine.ShardError` guards
+the invariant at every merge.
+
+Determinism is *by construction*, not by luck: fixed-seed runs are
+bit-identical to the serial engine for every shard count (tests lock
+serial against 1/2/4/8 shards).  Three mechanisms carry the proof:
+
+- The arrival stream is pre-generated once with the serial driver's
+  exact RNG sequence (:func:`repro.workload.arrivals.iter_arrivals`),
+  query ids assigned in global arrival order, then partitioned by the
+  source server's shard.
+- Every *global* construction draw (node assignment, heterogeneity,
+  bootstrap) is replayed identically in each shard and applied only
+  locally; per-peer RNG streams are keyed by server id, not creation
+  order.
+- Stats are recorded per shard as a timestamped event log and replayed
+  in canonical merge order ``(time, shard, log index)`` into one fresh
+  collector, reproducing the serial run's accumulation order exactly
+  (contiguous shard blocks make merged same-time per-server records,
+  e.g. maintenance load samples, come out in serial's ascending-sid
+  order).
+
+Process-backed execution (one worker process per shard, persistent
+pipes, one round-trip per window) gives the multi-core win; the inline
+backend runs every shard in-process for debugging and profiling.
+Configs without constant lookahead (``net_jitter > 0``,
+``net_delay == 0``) or with cross-shard state reads (``oracle_maps``)
+raise :class:`ShardError`; :func:`run_sharded_workload` then warns and
+falls back to the serial engine rather than silently diverging.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import warnings
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cluster.builder import _resolve_owner, build_shard_system, build_system
+from repro.cluster.config import SystemConfig
+from repro.namespace.tree import Namespace
+from repro.net.transport import shard_of_sid
+from repro.sim import profile
+from repro.sim.engine import Engine, ShardError
+from repro.sim.stats import StatsSink, SystemStats
+from repro.workload.arrivals import WorkloadDriver, iter_arrivals
+from repro.workload.streams import WorkloadSpec
+
+__all__ = [
+    "MergedRun",
+    "ShardEngine",
+    "ShardRecorder",
+    "ShardResult",
+    "ShardRunner",
+    "WindowedCoordinator",
+    "replay_stats",
+    "resolve_backend",
+    "resolve_shards",
+    "run_fingerprint",
+    "run_sharded_workload",
+    "stats_fingerprint",
+    "window_plan",
+]
+
+
+class ShardEngine(Engine):
+    """An :class:`~repro.sim.engine.Engine` that knows which shard it is.
+
+    Pure bookkeeping on top of the base engine: the shard id names the
+    engine in errors/repr and ``n_windows`` counts barrier crossings.
+    Dispatch semantics are exactly the base class's.
+    """
+
+    __slots__ = ("shard_id", "n_windows")
+
+    def __init__(self, shard_id: int = 0) -> None:
+        super().__init__()
+        self.shard_id = shard_id
+        self.n_windows = 0
+
+    def run_window(self, end: float, inclusive: bool = False) -> None:
+        super().run_window(end, inclusive)
+        self.n_windows += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardEngine(shard={self.shard_id}, now={self.now:.6f}, "
+            f"pending={len(self._heap)}, windows={self.n_windows})"
+        )
+
+
+def _make_shard_engine(shard_id: int) -> Engine:
+    """One engine per shard; profiled (and registered) when profiling is on."""
+    if profile.is_active():
+        return profile.make_engine(label=f"shard{shard_id}")
+    return ShardEngine(shard_id)
+
+
+# ----------------------------------------------------------------------
+# per-shard stats event log + canonical-order replay
+# ----------------------------------------------------------------------
+
+# log record codes (index = StatsSink hook); records are
+# (timestamp, code, *hook_args_after_now) tuples
+_INJECTED = 0
+_DROP = 1
+_COMPLETION = 2
+_FORWARD = 3
+_STALE_HOP = 4
+_REPLICA_CREATED = 5
+_REPLICA_EVICTED = 6
+_LOAD = 7
+_CLIENT_LOOKUP = 8
+_CLIENT_TIMEOUT = 9
+_CLIENT_RETRY = 10
+
+
+class ShardRecorder(StatsSink):
+    """Logs every stats hook as a timestamped record instead of folding
+    it into aggregates.
+
+    Aggregating per shard and summing at the end would lose bitwise
+    equality with the serial run: float accumulation order, histogram
+    dict insertion order, and per-bin maxima all depend on the *global*
+    event order.  The log keeps that order recoverable: replaying all
+    shards' logs merged by ``(time, shard, index)`` into one fresh
+    :class:`~repro.sim.stats.SystemStats` performs the exact additions
+    the serial collector performed, in the same order.
+
+    ``record_forward`` is the one hook without a ``now`` argument; the
+    recorder stamps it from its engine reference.
+    """
+
+    __slots__ = ("engine", "log")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.log: List[tuple] = []
+
+    def record_injected(self, now: float) -> None:
+        self.log.append((now, _INJECTED))
+
+    def record_drop(self, now: float, reason: str = "queue") -> None:
+        self.log.append((now, _DROP, reason))
+
+    def record_completion(
+        self, now: float, latency: float, hops: int, stale_hops: int
+    ) -> None:
+        self.log.append((now, _COMPLETION, latency, hops, stale_hops))
+
+    def record_forward(self, source: str) -> None:
+        self.log.append((self.engine.now, _FORWARD, source))
+
+    def record_stale_hop(self, now: float) -> None:
+        self.log.append((now, _STALE_HOP))
+
+    def record_replica_created(self, now: float, level: int) -> None:
+        self.log.append((now, _REPLICA_CREATED, level))
+
+    def record_replica_evicted(self, now: float, level: int) -> None:
+        self.log.append((now, _REPLICA_EVICTED, level))
+
+    def sample_load(self, now: float, load: float) -> None:
+        self.log.append((now, _LOAD, load))
+
+    def record_client_lookup(self, now: float) -> None:
+        self.log.append((now, _CLIENT_LOOKUP))
+
+    def record_client_timeout(self, now: float) -> None:
+        self.log.append((now, _CLIENT_TIMEOUT))
+
+    def record_client_retry(self, now: float) -> None:
+        self.log.append((now, _CLIENT_RETRY))
+
+
+_REPLAY_HOOKS = {
+    _INJECTED: SystemStats.record_injected,
+    _DROP: SystemStats.record_drop,
+    _COMPLETION: SystemStats.record_completion,
+    _STALE_HOP: SystemStats.record_stale_hop,
+    _REPLICA_CREATED: SystemStats.record_replica_created,
+    _REPLICA_EVICTED: SystemStats.record_replica_evicted,
+    _LOAD: SystemStats.sample_load,
+    _CLIENT_LOOKUP: SystemStats.record_client_lookup,
+    _CLIENT_TIMEOUT: SystemStats.record_client_timeout,
+    _CLIENT_RETRY: SystemStats.record_client_retry,
+}
+
+
+def replay_stats(logs: Sequence[List[tuple]], max_depth: int) -> SystemStats:
+    """Merge per-shard logs and replay them into one fresh collector.
+
+    Streams are merged by ``(timestamp, shard_id, log_index)`` --
+    within a shard the log index is execution order, and across shards
+    simultaneous records come out in shard order, which (contiguous
+    shard blocks, ascending-sid local loops) equals the serial run's
+    ascending-sid order for the only simultaneous cross-shard records
+    there are: per-server maintenance samples.
+    """
+    stats = SystemStats(max_depth)
+
+    def keyed(shard_id: int, log: List[tuple]):
+        # a real function, not a nested genexp: the genexp would look
+        # up shard_id lazily and stamp every stream with the last one
+        return ((rec[0], shard_id, idx, rec) for idx, rec in enumerate(log))
+
+    streams = [keyed(i, log) for i, log in enumerate(logs)]
+    forward = SystemStats.record_forward
+    hooks = _REPLAY_HOOKS
+    for _, _, _, rec in heapq.merge(*streams):
+        code = rec[1]
+        if code == _FORWARD:
+            forward(stats, rec[2])
+        else:
+            hooks[code](stats, rec[0], *rec[2:])
+    return stats
+
+
+# ----------------------------------------------------------------------
+# one shard: system + recorder + window stepping
+# ----------------------------------------------------------------------
+
+
+class ShardResult:
+    """Everything a finished shard ships back to the coordinator.
+
+    Plain picklable payload (the process backend sends one per shard
+    over a pipe): the stats event log plus per-server simulation-owned
+    state, in ascending-sid order.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "log",
+        "n_sent",
+        "n_control_sent",
+        "n_lost",
+        "now",
+        "n_dispatched",
+        "n_windows",
+        "local_sids",
+        "processed_by_sid",
+        "queue_drops_by_sid",
+        "replicas_by_sid",
+        "hosted_by_sid",
+    )
+
+    def __init__(self, **kw: Any) -> None:
+        for name in self.__slots__:
+            setattr(self, name, kw.pop(name))
+        if kw:
+            raise TypeError(f"unexpected fields {sorted(kw)}")
+
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardResult(shard={self.shard_id}, events={self.n_dispatched}, "
+            f"log={len(self.log)} records)"
+        )
+
+
+class ShardRunner:
+    """Owns one shard's system and steps it window by window."""
+
+    def __init__(
+        self,
+        ns: Namespace,
+        cfg: SystemConfig,
+        shard_id: int,
+        n_shards: int,
+        owner: Sequence[int],
+        arrivals: Sequence[Tuple[float, int, int, int]],
+    ) -> None:
+        engine = _make_shard_engine(shard_id)
+        self.recorder = ShardRecorder(engine)
+        self.system = build_shard_system(
+            ns, cfg, shard_id, n_shards, owner=owner, engine=engine,
+            stats=self.recorder,
+        )
+        self.system.feed(arrivals)
+        self.system.start_maintenance()
+
+    def step(
+        self, end: float, inclusive: bool, batches: List[List[tuple]]
+    ) -> Dict[int, List[tuple]]:
+        """Ingest the barrier's batches, run one window, return egress."""
+        transport = self.system.transport
+        transport.ingest(batches)
+        self.system.engine.run_window(end, inclusive)
+        return transport.collect_egress()
+
+    def finish(self) -> ShardResult:
+        system = self.system
+        transport = system.transport
+        engine = system.engine
+        peers = system.local_peers
+        return ShardResult(
+            shard_id=system.shard_id,
+            log=self.recorder.log,
+            n_sent=transport.n_sent,
+            n_control_sent=transport.n_control_sent,
+            n_lost=transport.n_lost,
+            now=engine.now,
+            n_dispatched=engine.n_dispatched,
+            n_windows=getattr(engine, "n_windows", 0),
+            local_sids=list(system.local_sids),
+            processed_by_sid=[p.n_processed for p in peers],
+            queue_drops_by_sid=[p.n_queue_drops for p in peers],
+            replicas_by_sid=[sorted(p.replicas) for p in peers],
+            hosted_by_sid=[sorted(p.hosted_list) for p in peers],
+        )
+
+
+# ----------------------------------------------------------------------
+# the merged outcome: a read-only stand-in for a finished System
+# ----------------------------------------------------------------------
+
+
+class _EngineView:
+    __slots__ = ("now", "n_dispatched")
+
+    def __init__(self, now: float, n_dispatched: int) -> None:
+        self.now = now
+        self.n_dispatched = n_dispatched
+
+
+class _TransportView:
+    __slots__ = ("n_sent", "n_control_sent", "n_lost")
+
+    def __init__(self, n_sent: int, n_control_sent: int, n_lost: int) -> None:
+        self.n_sent = n_sent
+        self.n_control_sent = n_control_sent
+        self.n_lost = n_lost
+
+
+class MergedRun:
+    """The merged outcome of a sharded run, shaped like a finished
+    :class:`~repro.cluster.system.System`.
+
+    Carries exactly the read surface the analysis layer touches
+    (``stats``, ``engine.now``, transport counters,
+    :meth:`total_replicas`, :meth:`hosted_counts`), so
+    :func:`repro.analysis.summary.run_summary` and
+    :func:`repro.analysis.series.rate_series` work on it unchanged.
+    Per-sid lists are global (all shards concatenated in shard order,
+    which is ascending sid).
+    """
+
+    __slots__ = (
+        "ns",
+        "cfg",
+        "stats",
+        "engine",
+        "transport",
+        "n_shards",
+        "n_windows",
+        "processed_by_sid",
+        "queue_drops_by_sid",
+        "replicas_by_sid",
+        "hosted_by_sid",
+    )
+
+    def __init__(
+        self,
+        ns: Namespace,
+        cfg: SystemConfig,
+        results: Sequence[ShardResult],
+        stats: SystemStats,
+        until: float,
+    ) -> None:
+        self.ns = ns
+        self.cfg = cfg
+        self.stats = stats
+        self.n_shards = len(results)
+        self.n_windows = max((r.n_windows for r in results), default=0)
+        self.engine = _EngineView(
+            until, sum(r.n_dispatched for r in results)
+        )
+        self.transport = _TransportView(
+            sum(r.n_sent for r in results),
+            sum(r.n_control_sent for r in results),
+            sum(r.n_lost for r in results),
+        )
+        self.processed_by_sid: List[int] = []
+        self.queue_drops_by_sid: List[int] = []
+        self.replicas_by_sid: List[List[int]] = []
+        self.hosted_by_sid: List[List[int]] = []
+        for r in results:
+            self.processed_by_sid.extend(r.processed_by_sid)
+            self.queue_drops_by_sid.extend(r.queue_drops_by_sid)
+            self.replicas_by_sid.extend(r.replicas_by_sid)
+            self.hosted_by_sid.extend(r.hosted_by_sid)
+
+    def total_replicas(self) -> int:
+        return sum(len(r) for r in self.replicas_by_sid)
+
+    def hosted_counts(self) -> List[int]:
+        return [len(h) for h in self.hosted_by_sid]
+
+    def __repr__(self) -> str:
+        return (
+            f"MergedRun(shards={self.n_shards}, "
+            f"servers={len(self.processed_by_sid)}, "
+            f"t={self.engine.now:.2f}, windows={self.n_windows})"
+        )
+
+
+# ----------------------------------------------------------------------
+# fingerprints (sharded-determinism checks in tests and CI)
+# ----------------------------------------------------------------------
+
+
+def stats_fingerprint(stats: SystemStats) -> Dict[str, Any]:
+    """Every collector accumulator, JSON-shaped, bit-faithful.
+
+    Floats go in un-rounded: the sharded contract is *bitwise* equality
+    with the serial run, so ``json.dumps`` of two fingerprints must
+    match byte for byte.
+    """
+    return {
+        "injected": stats.n_injected,
+        "completed": stats.n_completed,
+        "dropped": stats.n_dropped,
+        "drop_reasons": dict(stats.drop_reasons),
+        "stale_hops": stats.n_stale_hops,
+        "hops_sum": stats.hops_sum,
+        "route_sources": dict(stats.route_sources),
+        "level_replicas": list(stats.level_replicas),
+        "level_evictions": list(stats.level_evictions),
+        "client": [
+            stats.n_client_lookups,
+            stats.n_client_timeouts,
+            stats.n_client_retries,
+        ],
+        "latency": [
+            stats.latency.count,
+            stats.latency.total,
+            stats.latency.max,
+            sorted(stats.latency._hist.items()),
+        ],
+        "series": {
+            name: getattr(stats, name).totals()
+            for name in (
+                "injected", "drops", "completions",
+                "replicas_created", "replicas_evicted",
+            )
+        },
+        "loads": [
+            stats.loads.totals(),
+            stats.loads.means(),
+            stats.loads.maxima(),
+        ],
+    }
+
+
+def run_fingerprint(run: Any) -> Dict[str, Any]:
+    """Full-run fingerprint of a finished ``System`` or ``MergedRun``.
+
+    Covers simulation-owned per-server state *and* the stats collector;
+    deliberately excludes ``engine.n_dispatched`` -- the sharded run
+    legitimately dispatches different bookkeeping events (per-shard
+    feeders and drains) while producing identical simulation state.
+    """
+    if isinstance(run, MergedRun):
+        per_sid = {
+            "processed": list(run.processed_by_sid),
+            "queue_drops": list(run.queue_drops_by_sid),
+            "replicas": [list(r) for r in run.replicas_by_sid],
+            "hosted": [list(h) for h in run.hosted_by_sid],
+        }
+    else:
+        per_sid = {
+            "processed": [p.n_processed for p in run.peers],
+            "queue_drops": [p.n_queue_drops for p in run.peers],
+            "replicas": [sorted(p.replicas) for p in run.peers],
+            "hosted": [sorted(p.hosted_list) for p in run.peers],
+        }
+    fp = dict(per_sid)
+    fp["now"] = run.engine.now
+    fp["transport"] = [
+        run.transport.n_sent, run.transport.n_control_sent,
+        run.transport.n_lost,
+    ]
+    fp["replicas_live"] = run.total_replicas()
+    stats = run.stats
+    fp["stats"] = (
+        stats_fingerprint(stats) if isinstance(stats, SystemStats) else None
+    )
+    return fp
+
+
+# ----------------------------------------------------------------------
+# window schedule
+# ----------------------------------------------------------------------
+
+
+def window_plan(
+    net_delay: float, until: float
+) -> Iterator[Tuple[float, bool]]:
+    """Yield ``(window_end, inclusive)`` barrier points covering
+    ``[0, until]``.
+
+    Ends accumulate by repeated addition (``end += net_delay``) rather
+    than multiplication (``k * net_delay``) -- deliberately, because
+    delivery times accumulate the same way (``now + net_delay``) and
+    correctly rounded float addition is monotone: a send at ``t >=
+    end_k`` delivers at ``t + d >= end_k + d == end_{k+1}`` *as
+    floats*, so no delivery can land inside an already-executed window
+    even where ``k * d`` and ``(k-1) * d + d`` would disagree by an
+    ulp.  All windows are end-exclusive except the last, which lands
+    inclusively on ``until`` to match the serial engine's
+    ``run(until)`` stopping rule.
+    """
+    if net_delay <= 0:
+        raise ShardError("window width must be positive (net_delay > 0)")
+    if until <= 0:
+        raise ValueError("until must be > 0")
+    end = net_delay
+    while end < until:
+        yield end, False
+        end += net_delay
+    yield until, True
+
+
+# ----------------------------------------------------------------------
+# shard-count / backend resolution
+# ----------------------------------------------------------------------
+
+
+def resolve_shards(
+    requested: Optional[int] = None, n_servers: Optional[int] = None
+) -> int:
+    """Effective shard count: explicit argument, else ``REPRO_SHARDS``.
+
+    ``REPRO_SHARDS`` accepts a positive integer, ``auto`` (cpu count),
+    or unset/``0``/``none`` for serial.  The count is clamped to
+    ``n_servers`` when given -- more shards than servers would leave
+    empty engines whose barriers cost time and buy nothing.
+    """
+    n = requested
+    if n is None:
+        raw = os.environ.get("REPRO_SHARDS", "").strip().lower()
+        if raw in ("", "0", "none", "off"):
+            n = 1
+        elif raw == "auto":
+            n = os.cpu_count() or 1
+        else:
+            try:
+                n = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SHARDS={raw!r} is not an integer, 'auto', or unset"
+                ) from None
+    if n < 1:
+        raise ValueError(f"shard count must be >= 1, got {n}")
+    if n_servers is not None:
+        n = min(n, n_servers)
+    return n
+
+
+def resolve_backend(requested: Optional[str] = None, n_shards: int = 1) -> str:
+    """Pick ``inline`` or ``process`` for a sharded run.
+
+    Explicit argument wins, else ``REPRO_SHARD_BACKEND``, else
+    ``auto``.  ``auto`` chooses processes only when the CPU budget
+    (:func:`repro.experiments.parallel.shard_process_budget`, which
+    already accounts for campaign-level ``REPRO_WORKERS``) covers every
+    shard -- it never oversubscribes.  An explicit ``process`` request
+    always gets processes, with a warning when that oversubscribes the
+    machine.  Profiling forces ``inline``: profiled engines must live
+    in this process to be read afterwards.
+    """
+    from repro.experiments.parallel import shard_process_budget
+
+    b = requested or os.environ.get("REPRO_SHARD_BACKEND", "").strip().lower()
+    b = b or "auto"
+    if b not in ("auto", "inline", "process"):
+        raise ValueError(
+            f"unknown shard backend {b!r}; choose auto, inline, or process"
+        )
+    if b == "inline" or n_shards <= 1:
+        return "inline"
+    if profile.is_active():
+        if b == "process":
+            warnings.warn(
+                "profiling is active: shard workers would take their "
+                "profiles with them; running shards inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "inline"
+    budget = shard_process_budget()
+    if b == "auto":
+        return "process" if budget >= n_shards else "inline"
+    if budget < n_shards:
+        warnings.warn(
+            f"REPRO_SHARD_BACKEND=process with {n_shards} shards "
+            f"oversubscribes the CPU budget ({budget} free after "
+            "campaign workers); expect contention, not speedup",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "process"
+
+
+# ----------------------------------------------------------------------
+# the coordinator
+# ----------------------------------------------------------------------
+
+
+class WindowedCoordinator:
+    """Lock-steps N shard engines through ``net_delay``-wide windows.
+
+    Owns the global pieces of a sharded run: the pre-generated arrival
+    schedule (global query ids, partitioned by source shard), the
+    window plan, the per-barrier egress exchange, and the final merge
+    into a :class:`MergedRun`.  Backends: ``inline`` steps every shard
+    in this process (debugging, profiling, tests); ``process`` keeps
+    one persistent worker process per shard with a single pipe
+    round-trip per window.
+    """
+
+    def __init__(
+        self,
+        ns: Namespace,
+        cfg: SystemConfig,
+        spec: WorkloadSpec,
+        n_shards: int,
+        backend: str = "inline",
+    ) -> None:
+        if cfg.net_jitter > 0:
+            raise ShardError(
+                "sharded execution requires constant delivery delay "
+                f"(net_jitter={cfg.net_jitter}); run with net_jitter=0 "
+                "or on the serial engine"
+            )
+        if cfg.net_delay <= 0:
+            raise ShardError(
+                "sharded execution requires net_delay > 0 "
+                "(the window width equals the delivery delay)"
+            )
+        if cfg.oracle_maps:
+            raise ShardError(
+                "oracle_maps consults ground-truth peer state across "
+                "shards; run oracle comparisons on the serial engine"
+            )
+        if backend not in ("inline", "process"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.ns = ns
+        self.cfg = cfg
+        self.spec = spec
+        self.n_shards = resolve_shards(n_shards, cfg.n_servers)
+        self.backend = backend
+        self.n_windows = 0
+        self.owner = _resolve_owner(ns, cfg, None)
+        # pre-generate the arrival schedule: global qids in arrival
+        # order, partitioned by the source server's shard
+        per_shard: List[List[Tuple[float, int, int, int]]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        n_servers = cfg.n_servers
+        qid = 0
+        for t, src, dest in iter_arrivals(spec, len(ns), n_servers):
+            qid += 1
+            per_shard[shard_of_sid(src, n_servers, self.n_shards)].append(
+                (t, src, dest, qid)
+            )
+        self.arrivals = per_shard
+
+    # ------------------------------------------------------------------
+
+    def run(self, until: float) -> MergedRun:
+        """Advance every shard to ``until``; return the merged run."""
+        stepper = (
+            _ProcessStepper(self) if self.backend == "process"
+            else _InlineStepper(self)
+        )
+        try:
+            inboxes: List[List[List[tuple]]] = [
+                [] for _ in range(self.n_shards)
+            ]
+            for end, inclusive in window_plan(self.cfg.net_delay, until):
+                outs = stepper.step_all(end, inclusive, inboxes)
+                inboxes = self._route(outs)
+                self.n_windows += 1
+            if any(inboxes):
+                # cross-shard messages landing at exactly `until` (sent
+                # at exactly `until - net_delay`): the serial engine's
+                # inclusive stop delivers them, so drain one more
+                # inclusive pass at the same instant.  Anything later
+                # stays undelivered, exactly like serial in-flight mail.
+                stepper.step_all(until, True, inboxes)
+            results = stepper.finish_all()
+        finally:
+            stepper.close()
+        stats = replay_stats([r.log for r in results], self.ns.max_depth)
+        return MergedRun(self.ns, self.cfg, results, stats, until)
+
+    def _route(
+        self, outs: Sequence[Dict[int, List[tuple]]]
+    ) -> List[List[List[tuple]]]:
+        """Turn per-shard egress dicts into per-shard ingest batches.
+
+        Batches are appended in ascending source-shard order so every
+        shard merges the same barrier the same way no matter which
+        backend delivered it.
+        """
+        inboxes: List[List[List[tuple]]] = [[] for _ in range(self.n_shards)]
+        for src in range(self.n_shards):
+            out = outs[src]
+            for dest in sorted(out):
+                inboxes[dest].append(out[dest])
+        return inboxes
+
+    def _runner_args(self, shard_id: int) -> tuple:
+        return (
+            self.ns, self.cfg, shard_id, self.n_shards, self.owner,
+            self.arrivals[shard_id],
+        )
+
+
+class _InlineStepper:
+    """All shards in this process, stepped round-robin."""
+
+    def __init__(self, coord: WindowedCoordinator) -> None:
+        self.runners = [
+            ShardRunner(*coord._runner_args(i))
+            for i in range(coord.n_shards)
+        ]
+
+    def step_all(
+        self, end: float, inclusive: bool, inboxes: Sequence[List[List[tuple]]]
+    ) -> List[Dict[int, List[tuple]]]:
+        return [
+            r.step(end, inclusive, inboxes[i])
+            for i, r in enumerate(self.runners)
+        ]
+
+    def finish_all(self) -> List[ShardResult]:
+        return [r.finish() for r in self.runners]
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessStepper:
+    """One persistent worker process per shard.
+
+    Workers are long-lived (spawned once, one pipe round-trip per
+    window) because shard state -- the engine heap, every peer --
+    cannot cross process boundaries between windows.  All sends go out
+    before any receive so shards genuinely run their windows in
+    parallel.
+    """
+
+    def __init__(self, coord: WindowedCoordinator) -> None:
+        from repro.experiments.parallel import PersistentWorker
+
+        self.workers: List[PersistentWorker] = []
+        try:
+            for i in range(coord.n_shards):
+                self.workers.append(PersistentWorker(_shard_worker_main))
+            for i, w in enumerate(self.workers):
+                w.send(("init", coord._runner_args(i)))
+            for w in self.workers:
+                w.recv()
+        except BaseException:
+            self.close()
+            raise
+
+    def step_all(
+        self, end: float, inclusive: bool, inboxes: Sequence[List[List[tuple]]]
+    ) -> List[Dict[int, List[tuple]]]:
+        for i, w in enumerate(self.workers):
+            w.send(("step", (end, inclusive, inboxes[i])))
+        return [w.recv() for w in self.workers]
+
+    def finish_all(self) -> List[ShardResult]:
+        for w in self.workers:
+            w.send(("finish", None))
+        return [w.recv() for w in self.workers]
+
+    def close(self) -> None:
+        for w in self.workers:
+            w.close()
+
+
+def _shard_worker_main(conn) -> None:
+    """Worker-process loop: init once, then step per barrier."""
+    import traceback
+
+    runner: Optional[ShardRunner] = None
+    try:
+        while True:
+            op, payload = conn.recv()
+            if op == "init":
+                runner = ShardRunner(*payload)
+                conn.send(("ok", None))
+            elif op == "step":
+                end, inclusive, batches = payload
+                conn.send(("ok", runner.step(end, inclusive, batches)))
+            elif op == "finish":
+                conn.send(("ok", runner.finish()))
+            elif op == "exit":
+                return
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown op {op!r}"))
+                return
+    except EOFError:  # parent went away
+        pass
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:  # pragma: no cover - pipe already closed
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# the front door
+# ----------------------------------------------------------------------
+
+
+def run_sharded_workload(
+    ns: Namespace,
+    cfg: SystemConfig,
+    spec: WorkloadSpec,
+    until: float,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Any:
+    """Run one workload to ``until``, sharded when asked and possible.
+
+    The experiment-facing entry point: shard count comes from
+    ``shards`` or ``REPRO_SHARDS`` (default 1 = the plain serial
+    engine, zero new machinery on that path), backend from ``backend``
+    or ``REPRO_SHARD_BACKEND``.  Configs the windowed protocol cannot
+    handle (jitter, zero delay, oracle maps) raise
+    :class:`ShardError` inside the coordinator; this wrapper warns and
+    falls back to the serial engine, which handles everything.
+
+    Returns the finished :class:`~repro.cluster.system.System` (serial)
+    or :class:`MergedRun` (sharded); both carry the full analysis read
+    surface, and fixed-seed fingerprints are bit-identical either way.
+    """
+    n = resolve_shards(shards, cfg.n_servers)
+    if n > 1:
+        try:
+            coord = WindowedCoordinator(
+                ns, cfg, spec, n, backend=resolve_backend(backend, n)
+            )
+        except ShardError as exc:
+            warnings.warn(
+                f"sharded run unavailable ({exc}); falling back to the "
+                "serial engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            return coord.run(until)
+    system = build_system(ns, cfg)
+    WorkloadDriver(system, spec).start()
+    system.run_until(until)
+    return system
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro shard-check [--shards 1,2,4] ...
+# ----------------------------------------------------------------------
+
+
+def main(argv: List[str]) -> int:
+    """Sharded-determinism check: serial vs N-shard fingerprints.
+
+    Runs a small fig9-style point once on the serial engine and once
+    per requested shard count, and compares full-run fingerprints
+    byte for byte (CI runs this with ``--shards 1,4``).
+    """
+    import argparse
+    import json
+
+    from repro.namespace.generators import balanced_tree
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro shard-check",
+        description="verify sharded runs are bit-identical to serial",
+    )
+    parser.add_argument(
+        "--shards", default="1,4",
+        help="comma-separated shard counts to verify (default: 1,4)",
+    )
+    parser.add_argument(
+        "--levels", type=int, default=7,
+        help="namespace tree depth (default: 7)",
+    )
+    parser.add_argument(
+        "--servers", type=int, default=16,
+        help="server count (default: 16)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=4.0,
+        help="workload duration in simulated seconds (default: 4)",
+    )
+    parser.add_argument(
+        "--backend", default="inline", choices=("inline", "process"),
+        help="shard backend to exercise (default: inline)",
+    )
+    args = parser.parse_args(argv)
+    counts = [int(c) for c in args.shards.split(",") if c.strip()]
+
+    from repro.workload.streams import cuzipf_stream
+
+    ns = balanced_tree(levels=args.levels)
+    cfg = SystemConfig.replicated(
+        n_servers=args.servers, seed=1009, cache_slots=16
+    )
+    phase = args.duration / 2.0
+    spec = cuzipf_stream(
+        rate=400.0, alpha=1.0, warmup=phase, phase=phase, n_phases=1,
+        seed=1009,
+    )
+    until = spec.duration + 1.0
+
+    system = build_system(ns, cfg)
+    WorkloadDriver(system, spec).start()
+    system.run_until(until)
+    ref = json.dumps(run_fingerprint(system), sort_keys=True)
+    print(
+        f"serial: servers={args.servers} until={until} "
+        f"fingerprint={len(ref)}B"
+    )
+
+    failed = False
+    for n in counts:
+        coord = WindowedCoordinator(ns, cfg, spec, n, backend=args.backend)
+        run = coord.run(until)
+        got = json.dumps(run_fingerprint(run), sort_keys=True)
+        ok = got == ref
+        failed = failed or not ok
+        print(
+            f"shards={n} ({args.backend}): windows={run.n_windows} "
+            f"{'OK: bit-identical to serial' if ok else 'FAIL: diverged'}"
+        )
+        if not ok:
+            a = json.loads(ref)
+            b = json.loads(got)
+            for key in a:
+                if a[key] != b.get(key):
+                    print(f"  first differing key: {key!r}")
+                    break
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    import sys
+
+    raise SystemExit(main(sys.argv[1:]))

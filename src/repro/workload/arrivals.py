@@ -13,11 +13,58 @@ workload can begin at any point of an already-running simulation.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cluster.system import System
 from repro.sim.rng import ZipfSampler, exponential
 from repro.workload.streams import WorkloadSpec
+
+
+def iter_arrivals(
+    spec: WorkloadSpec, n_nodes: int, n_servers: int, t0: float = 0.0
+) -> Iterator[Tuple[float, int, int]]:
+    """Yield the exact ``(time, src_server, dest_node)`` arrival stream a
+    :class:`WorkloadDriver` started at ``t0`` would inject.
+
+    Sharded runs cannot generate arrivals lazily inside one shard --
+    the stream's RNG is global (one Poisson process, one popularity
+    permutation) while injection points are scattered across shards.
+    The coordinator instead materialises the stream with this
+    generator, assigns query ids in global arrival order, and
+    partitions by the source server's shard.
+
+    Every RNG draw here replays :meth:`WorkloadDriver._arrival`'s
+    sequence draw for draw (initial shuffle, inter-arrival gaps,
+    reshuffles at segment boundaries, source then destination per
+    arrival), so a fixed seed yields bit-identical arrivals either way;
+    a regression test locks the two together.
+    """
+    rng = random.Random(spec.seed ^ 0xA11CE5)
+    perm = list(range(n_nodes))
+    rng.shuffle(perm)
+    samplers: Dict[float, ZipfSampler] = {}
+    boundaries = spec.boundaries()
+    end_time = t0 + boundaries[-1]
+    segment_idx = 0
+    now = t0 + exponential(rng, 1.0 / spec.rate)
+    while now < end_time:
+        rel = now - t0
+        while rel >= boundaries[segment_idx]:
+            segment_idx += 1
+            if spec.segments[segment_idx].reshuffle:
+                rng.shuffle(perm)
+        seg = spec.segments[segment_idx]
+        src = rng.randrange(n_servers)
+        if seg.alpha == 0.0:
+            dest = rng.randrange(n_nodes)
+        else:
+            sampler = samplers.get(seg.alpha)
+            if sampler is None:
+                sampler = ZipfSampler(n_nodes, seg.alpha)
+                samplers[seg.alpha] = sampler
+            dest = perm[sampler.sample(rng)]
+        yield now, src, dest
+        now += exponential(rng, 1.0 / spec.rate)
 
 
 class WorkloadDriver:

@@ -1,0 +1,462 @@
+"""Sharded windowed execution must be bit-identical to the serial engine.
+
+The conservative-window contract (`repro.sim.shard`): with constant
+``net_delay`` lookahead, N shard engines advancing in delay-wide
+lock-stepped windows and exchanging cross-shard messages at barriers
+produce byte-for-byte the fingerprints of one serial engine -- for
+every shard count, on both backends.  These tests lock that contract,
+the windowed-execution edge cases (boundary events, timer cancels
+across windows, jitter rejection), and the shard/backend resolution
+knobs.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis.summary import run_summary
+from repro.cluster.builder import build_shard_system, build_system
+from repro.cluster.config import SystemConfig
+from repro.namespace.generators import balanced_tree
+from repro.net.transport import ShardTransport, shard_of_sid, shard_sids
+from repro.sim.engine import Engine, ShardError
+from repro.sim.shard import (
+    MergedRun,
+    WindowedCoordinator,
+    resolve_backend,
+    resolve_shards,
+    run_fingerprint,
+    run_sharded_workload,
+    window_plan,
+)
+from repro.sim.timerwheel import TimerWheel
+from repro.workload.arrivals import WorkloadDriver, iter_arrivals
+from repro.workload.streams import cuzipf_stream, uzipf_stream
+
+
+def serial_run(ns, cfg, spec, until):
+    system = build_system(ns, cfg)
+    WorkloadDriver(system, spec).start()
+    system.run_until(until)
+    return system
+
+
+def fig3_style():
+    """Composite cuzipf stream with a reshuffle, 16 servers."""
+    ns = balanced_tree(levels=7)
+    cfg = SystemConfig.replicated(n_servers=16, seed=7, cache_slots=8)
+    spec = cuzipf_stream(rate=400.0, alpha=1.0, warmup=1.0, phase=1.0,
+                         n_phases=2, seed=7)
+    return ns, cfg, spec, spec.duration + 1.0
+
+
+def fig9_style():
+    """Scalability-shaped point: 32 servers, pure-zipf stream."""
+    ns = balanced_tree(levels=8)
+    cfg = SystemConfig.replicated(n_servers=32, seed=11, cache_slots=12,
+                                  rmap=3, rfact=2.0)
+    spec = uzipf_stream(rate=600.0, duration=3.0, alpha=1.0, seed=11)
+    return ns, cfg, spec, spec.duration + 1.0
+
+
+# ----------------------------------------------------------------------
+# pre-generated arrivals == lazy driver
+# ----------------------------------------------------------------------
+
+
+class TestIterArrivals:
+    def test_matches_driver_exactly(self):
+        ns, cfg, spec, until = fig3_style()
+        system = build_system(ns, cfg)
+        tap = []
+        system.on_inject = lambda now, src, dest: tap.append(
+            (now, src, dest)
+        )
+        WorkloadDriver(system, spec).start()
+        system.run_until(until)
+        gen = list(iter_arrivals(spec, len(ns), cfg.n_servers))
+        assert len(gen) > 500  # non-trivial stream
+        assert tap == gen  # bit-identical times, sources, destinations
+
+    def test_respects_start_offset(self):
+        ns, cfg, spec, _ = fig3_style()
+        base = list(iter_arrivals(spec, len(ns), cfg.n_servers))
+        moved = list(iter_arrivals(spec, len(ns), cfg.n_servers, t0=5.0))
+        assert len(base) == len(moved)
+        assert moved[0][0] == pytest.approx(base[0][0] + 5.0)
+        assert [a[1:] for a in base] == [a[1:] for a in moved]
+
+
+# ----------------------------------------------------------------------
+# engine windows
+# ----------------------------------------------------------------------
+
+
+class TestRunWindow:
+    def test_boundary_event_runs_in_the_window_it_opens(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(1.0, hits.append, "boundary")
+        eng.schedule(0.5, hits.append, "inside")
+        eng.run_window(1.0)
+        assert hits == ["inside"]  # t == end is excluded...
+        assert eng.now == 1.0
+        eng.run_window(2.0)
+        assert hits == ["inside", "boundary"]  # ...and opens the next
+
+    def test_inclusive_final_window_matches_run_until(self):
+        eng = Engine()
+        hits = []
+        eng.schedule(2.0, hits.append, "at-end")
+        eng.run_window(2.0, inclusive=True)
+        assert hits == ["at-end"]
+        assert eng.now == 2.0
+
+    def test_advances_clock_through_empty_windows(self):
+        eng = Engine()
+        eng.run_window(3.0)
+        assert eng.now == 3.0
+
+    def test_rejects_windows_ending_in_the_past(self):
+        eng = Engine()
+        eng.run_window(2.0)
+        with pytest.raises(Exception):
+            eng.run_window(1.0)
+
+
+class TestWindowPlan:
+    def test_covers_horizon_and_ends_inclusive(self):
+        plan = list(window_plan(0.025, 1.0))
+        assert plan[-1] == (1.0, True)
+        assert all(not inc for _, inc in plan[:-1])
+        ends = [e for e, _ in plan]
+        assert ends == sorted(ends)
+        # window width never exceeds the lookahead
+        prev = 0.0
+        for e in ends:
+            assert e - prev <= 0.025 + 1e-12
+            prev = e
+
+    def test_short_horizon_is_one_inclusive_window(self):
+        assert list(window_plan(0.5, 0.2)) == [(0.2, True)]
+
+    def test_send_at_window_start_never_lands_in_executed_window(self):
+        # the float-monotonicity property the accumulating plan relies
+        # on: for consecutive ends a < b, a + d >= b as floats
+        d = 0.1  # not exactly representable: the adversarial case
+        ends = [e for e, _ in window_plan(d, 10.0)]
+        prev = 0.0
+        for e in ends:
+            assert prev + d >= e
+            prev = e
+
+
+# ----------------------------------------------------------------------
+# shard transport
+# ----------------------------------------------------------------------
+
+
+class TestShardOfSid:
+    def test_blocks_are_contiguous_and_balanced(self):
+        for n_servers, n_shards in ((16, 4), (10, 3), (7, 7), (8, 1)):
+            owners = [
+                shard_of_sid(s, n_servers, n_shards)
+                for s in range(n_servers)
+            ]
+            assert owners == sorted(owners)  # contiguous, monotone
+            assert set(owners) == set(range(n_shards))  # none empty
+            sizes = [owners.count(k) for k in range(n_shards)]
+            assert max(sizes) - min(sizes) <= 1  # balanced
+            for k in range(n_shards):
+                assert shard_sids(k, n_servers, n_shards) == [
+                    s for s in range(n_servers) if owners[s] == k
+                ]
+
+
+class TestShardTransport:
+    def _pair(self, shard_id=0, n_shards=2, n_servers=4):
+        eng = Engine()
+        tr = ShardTransport(
+            eng, 0.025, shard_id=shard_id, n_shards=n_shards,
+            n_servers=n_servers,
+        )
+        got = []
+        for sid in shard_sids(shard_id, n_servers, n_shards):
+            tr.register(sid, lambda msg, sid=sid: got.append((sid, msg)))
+        return eng, tr, got
+
+    def test_local_sends_deliver_on_the_ring(self):
+        eng, tr, got = self._pair()
+        tr.send(0, "a")
+        tr.send(1, "b")
+        eng.run()
+        assert got == [(0, "a"), (1, "b")]
+        assert tr.collect_egress() == {}
+
+    def test_cross_shard_sends_buffer_as_egress(self):
+        eng, tr, got = self._pair()
+        tr.send(3, "remote")
+        eng.run()
+        assert got == []
+        egress = tr.collect_egress()
+        assert list(egress) == [1]
+        ((at, src_shard, seq, dest, msg),) = egress[1]
+        assert (src_shard, dest, msg) == (0, 3, "remote")
+        assert at == pytest.approx(0.025)
+        assert tr.collect_egress() == {}  # handed over exactly once
+
+    def test_ingest_merges_in_canonical_order(self):
+        eng, tr, got = self._pair()
+        eng.run_window(0.025)  # now == 0.025
+        tr.send(0, "local")  # delivers at 0.050
+        # two remote batches with deliveries straddling the local one
+        b_early = [(0.03, 1, 1, 1, "early")]
+        b_late = [(0.05, 1, 2, 0, "tie-late"), (0.07, 1, 3, 1, "late")]
+        tr.ingest([b_early, b_late])
+        eng.run()
+        # at == 0.05 tie breaks by (src_shard, seq): local shard 0 wins
+        assert got == [
+            (1, "early"), (0, "local"), (0, "tie-late"), (1, "late")
+        ]
+
+    def test_ingest_rejects_messages_for_executed_windows(self):
+        eng, tr, _ = self._pair()
+        eng.run_window(1.0)
+        with pytest.raises(ShardError):
+            tr.ingest([[(0.5, 1, 1, 0, "too-old")]])
+
+    def test_jitter_and_zero_delay_are_rejected(self):
+        with pytest.raises(ShardError):
+            ShardTransport(Engine(), 0.025, shard_id=0, n_shards=2,
+                           n_servers=4, net_jitter=0.01)
+        with pytest.raises(ShardError):
+            ShardTransport(Engine(), 0.0, shard_id=0, n_shards=2,
+                           n_servers=4)
+
+    def test_remote_failure_injection_is_rejected(self):
+        _, tr, _ = self._pair()
+        with pytest.raises(ShardError):
+            tr.fail_server(3)  # lives on shard 1
+
+
+# ----------------------------------------------------------------------
+# the determinism contract
+# ----------------------------------------------------------------------
+
+
+class TestShardedDeterminism:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    def test_fig3_style_bit_identical(self, n_shards):
+        ns, cfg, spec, until = fig3_style()
+        ref = run_fingerprint(serial_run(ns, cfg, spec, until))
+        coord = WindowedCoordinator(ns, cfg, spec, n_shards,
+                                    backend="inline")
+        run = coord.run(until)
+        got = run_fingerprint(run)
+        assert json.dumps(got, sort_keys=True) == json.dumps(
+            ref, sort_keys=True
+        )
+
+    @pytest.mark.parametrize("n_shards", [2, 8])
+    def test_fig9_style_bit_identical(self, n_shards):
+        ns, cfg, spec, until = fig9_style()
+        system = serial_run(ns, cfg, spec, until)
+        run = WindowedCoordinator(ns, cfg, spec, n_shards,
+                                  backend="inline").run(until)
+        assert json.dumps(run_fingerprint(run), sort_keys=True) == \
+            json.dumps(run_fingerprint(system), sort_keys=True)
+        # the analysis layer sees identical numbers through either type
+        assert json.dumps(run_summary(run), sort_keys=True) == \
+            json.dumps(run_summary(system), sort_keys=True)
+
+    def test_process_backend_bit_identical(self):
+        ns, cfg, spec, until = fig3_style()
+        ref = run_fingerprint(serial_run(ns, cfg, spec, until))
+        run = WindowedCoordinator(ns, cfg, spec, 2,
+                                  backend="process").run(until)
+        assert json.dumps(run_fingerprint(run), sort_keys=True) == \
+            json.dumps(ref, sort_keys=True)
+
+    def test_merged_run_shape(self):
+        ns, cfg, spec, until = fig3_style()
+        run = WindowedCoordinator(ns, cfg, spec, 4,
+                                  backend="inline").run(until)
+        assert isinstance(run, MergedRun)
+        assert run.n_shards == 4
+        assert run.n_windows > 0
+        assert run.engine.now == until
+        assert len(run.processed_by_sid) == cfg.n_servers
+        assert run.total_replicas() == sum(
+            len(r) for r in run.replicas_by_sid
+        )
+
+
+class TestShardSystemConstruction:
+    def test_shard_union_equals_serial_system(self):
+        ns, cfg, _, _ = fig3_style()
+        serial = build_system(ns, cfg)
+        n_shards = 4
+        seen = {}
+        for shard_id in range(n_shards):
+            shard = build_shard_system(ns, cfg, shard_id, n_shards)
+            assert [p.sid for p in shard.local_peers] == shard.local_sids
+            for p in shard.local_peers:
+                seen[p.sid] = p
+        assert sorted(seen) == list(range(cfg.n_servers))
+        for sid, p in seen.items():
+            ref = serial.peers[sid]
+            assert sorted(p.hosted_list) == sorted(ref.hosted_list)
+            assert p.service_mean == ref.service_mean  # het draw replayed
+            assert p.known_loads == ref.known_loads  # bootstrap replayed
+
+    def test_oracle_maps_rejected(self):
+        ns, cfg, _, _ = fig3_style()
+        cfg.oracle_maps = True
+        with pytest.raises(ShardError):
+            build_shard_system(ns, cfg, 0, 2)
+
+
+# ----------------------------------------------------------------------
+# fallback + resolution knobs
+# ----------------------------------------------------------------------
+
+
+class TestFallback:
+    def test_jitter_warns_and_falls_back_to_serial(self):
+        ns, cfg, spec, until = fig3_style()
+        cfg.net_jitter = 0.005
+        with pytest.warns(RuntimeWarning, match="serial"):
+            run = run_sharded_workload(ns, cfg, spec, until, shards=2)
+        assert not isinstance(run, MergedRun)  # a real serial System
+        assert run.engine.now == until
+
+    def test_shards_1_takes_the_plain_serial_path(self):
+        ns, cfg, spec, until = fig3_style()
+        run = run_sharded_workload(ns, cfg, spec, until, shards=1)
+        assert not isinstance(run, MergedRun)
+        ref = run_fingerprint(serial_run(ns, cfg, spec, until))
+        assert json.dumps(run_fingerprint(run), sort_keys=True) == \
+            json.dumps(ref, sort_keys=True)
+
+    def test_env_selects_shards(self, monkeypatch):
+        ns, cfg, spec, until = fig3_style()
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        monkeypatch.setenv("REPRO_SHARD_BACKEND", "inline")
+        run = run_sharded_workload(ns, cfg, spec, until)
+        assert isinstance(run, MergedRun)
+        assert run.n_shards == 2
+
+
+class TestResolution:
+    def test_resolve_shards_env_forms(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards() == 1
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards() == 4
+        assert resolve_shards(n_servers=3) == 3  # clamped
+        monkeypatch.setenv("REPRO_SHARDS", "auto")
+        assert resolve_shards() >= 1
+        monkeypatch.setenv("REPRO_SHARDS", "bogus")
+        with pytest.raises(ValueError):
+            resolve_shards()
+        with pytest.raises(ValueError):
+            resolve_shards(0)
+
+    def test_resolve_backend_budget(self, monkeypatch):
+        from repro.experiments import parallel
+
+        monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        assert resolve_backend(n_shards=4) == "process"
+        assert resolve_backend(n_shards=16) == "inline"  # over budget
+        assert resolve_backend(n_shards=1) == "inline"
+        # campaign workers claim the CPUs first (documented precedence)
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_backend(n_shards=4) == "inline"
+        # explicit process wins but warns about oversubscription
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            assert resolve_backend("process", n_shards=4) == "process"
+
+    def test_resolve_backend_explicit_inline_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("inline", n_shards=64) == "inline"
+
+    def test_shard_process_budget(self, monkeypatch):
+        from repro.experiments.parallel import shard_process_budget
+
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count",
+                            lambda: 8)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert shard_process_budget() == 8
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert shard_process_budget() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert shard_process_budget() == 1
+        assert shard_process_budget(workers=4) == 2
+
+
+# ----------------------------------------------------------------------
+# windowed-execution edge cases
+# ----------------------------------------------------------------------
+
+
+class TestTimerAcrossWindows:
+    def test_cancel_crossing_a_window_barrier_sticks(self):
+        # a timer armed in window 1 to fire in window 3, cancelled at a
+        # time in window 2: the windowed loop must honour the cancel
+        # even though the barrier re-sorted the heap's surroundings
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=0.01)
+        fired = []
+        handle = wheel.schedule_after(0.055, fired.append, "timer")
+        eng.schedule(0.030, handle.cancel)
+        for end in (0.025, 0.050, 0.075):
+            eng.run_window(end)
+        eng.run_window(0.1, inclusive=True)
+        assert fired == []
+        assert wheel.n_cancelled == 1
+
+    def test_uncancelled_timer_fires_in_its_window(self):
+        eng = Engine()
+        wheel = TimerWheel(eng, tick=0.01)
+        fired = []
+        wheel.schedule_after(0.055, lambda: fired.append(eng.now))
+        for end in (0.025, 0.050, 0.075):
+            eng.run_window(end)
+        assert len(fired) == 1
+        assert 0.050 <= fired[0] < 0.075
+
+
+class TestProfileIntegration:
+    def test_sharded_profile_report_labels_shards(self):
+        from repro.sim import profile
+
+        ns, cfg, spec, until = fig3_style()
+        profile.enable()
+        profile.reset()
+        try:
+            run = run_sharded_workload(ns, cfg, spec, until, shards=2,
+                                       backend="auto")
+            assert isinstance(run, MergedRun)  # auto went inline
+            report = profile.render_report()
+        finally:
+            profile.disable()
+            profile.reset()
+        assert "per-engine breakdown:" in report
+        assert "shard0" in report and "shard1" in report
+        assert "routing decisions by candidate class:" in report
+
+
+class TestShardCheckCli:
+    def test_shard_check_passes_on_identical_runs(self, capsys):
+        from repro.sim.shard import main
+
+        rc = main(["--shards", "1,2", "--levels", "6", "--servers", "8",
+                   "--duration", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK: bit-identical to serial" in out
+        assert "FAIL" not in out

@@ -13,6 +13,8 @@
 #   make bench-micro  hot-path events/sec vs the committed BENCH_micro.json
 #   make mem          build both 10^6-node namespaces under the 2 GB RSS budget
 #   make shard-check  sharded engine fingerprints bit-identical to serial
+#   make det-lint     determinism/shard-safety AST lint (python -m repro lint)
+#   make typecheck    mypy strict gate over sim/, net/, core/, tools/
 
 PYTHON ?= python
 PROFILE_FIGS ?= fig3
@@ -50,8 +52,16 @@ mem:
 shard-check:
 	$(PYTHON) -m repro shard-check --shards 1,2,4
 
+det-lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src
+
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "mypy not installed; skipping (CI runs the gate)"
+
 outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem shard-check
+.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem shard-check det-lint typecheck

@@ -14,7 +14,9 @@
   (see :mod:`repro.experiments.mem_smoke`);
 * ``python -m repro shard-check [--shards 1,4]`` -- verify sharded
   windowed runs are bit-identical to the serial engine
-  (see :mod:`repro.sim.shard`).
+  (see :mod:`repro.sim.shard`);
+* ``python -m repro lint [paths] [--format json]`` -- determinism &
+  shard-safety static analysis (see :mod:`repro.tools.detlint`).
 """
 
 import sys
@@ -41,6 +43,10 @@ def main(argv) -> int:
         from repro.sim.shard import main as shard_main
 
         return shard_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.tools.detlint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     runner_main(argv)

@@ -179,7 +179,8 @@ class TerraDirClient:
         want_meta: bool,
         tried: Optional[set] = None,
     ) -> None:
-        tried = tried or set()
+        if tried is None:
+            tried = set()
         candidates = [s for s in candidates if s not in tried]
         if attempts >= self.retrieve_attempts or not candidates:
             future.fail("no data host reachable from the lookup map")

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from array import array
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 
 def merge_maps(
@@ -128,16 +128,17 @@ class NodeMap:
         self._servers.append(server)
         return True
 
-    def add_preferred(self, server: int) -> None:
+    def add_preferred(self, server: int, rng: random.Random) -> None:
         """Add an entry, evicting a random other entry when full.
 
         Used for advertised new replicas, which must enter the map so
-        excess traffic is diverted to them quickly.
+        excess traffic is diverted to them quickly.  The eviction draw
+        comes from the caller's seeded stream, never ambient entropy.
         """
         if server in self._servers:
             return
         if len(self._servers) >= self.rmap:
-            self._servers.pop(random.randrange(len(self._servers)))
+            self._servers.pop(rng.randrange(len(self._servers)))
         self._servers.insert(0, server)
 
     def discard(self, server: int) -> bool:
@@ -158,7 +159,7 @@ class NodeMap:
             "i", merge_maps(self._servers, incoming, self.rmap, rng, advertised)
         )
 
-    def filter(self, keep_predicate) -> int:
+    def filter(self, keep_predicate: Callable[[int], bool]) -> int:
         """Drop entries failing ``keep_predicate(server)``; return #dropped.
 
         This is the digest-based map pruning of paper section 3.6.2:

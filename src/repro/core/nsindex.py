@@ -64,7 +64,10 @@ index's buckets (DESIGN.md section 11).
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Tuple
+
+if TYPE_CHECKING:
+    from repro.namespace.tree import Namespace
 
 #: "no bound" initial distance, matching the scan implementations.
 NO_BOUND = 1 << 30
@@ -89,7 +92,7 @@ class AncestorIndex:
 
     __slots__ = ("_arena", "_off", "_depth", "_buckets", "_members", "_seq")
 
-    def __init__(self, ns, members: Iterable[int] = ()) -> None:
+    def __init__(self, ns: "Namespace", members: Iterable[int] = ()) -> None:
         # ancestor chains are read straight out of the namespace's flat
         # arena (chain v = _arena[_off[v]:_off[v + 1]]): no per-chain
         # slice objects on the per-hop path
@@ -97,7 +100,7 @@ class AncestorIndex:
         self._off = ns.anc_off
         self._depth = ns.depth
         # namespace node id -> [heap, live count]
-        self._buckets: Dict[int, List] = {}
+        self._buckets: Dict[int, list] = {}
         # member node id -> current (valid) sequence stamp
         self._members: Dict[int, int] = {}
         self._seq = 0
@@ -202,7 +205,7 @@ class AncestorIndex:
         for v in ordered_members:
             self.add(v)
 
-    def _compact(self, a: int, b: List) -> None:
+    def _compact(self, a: int, b: list) -> None:
         members = self._members
         heap = b[_HEAP]
         heap[:] = [e for e in heap if members.get(e[2]) == e[1]]

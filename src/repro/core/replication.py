@@ -30,7 +30,10 @@ than queries is validated in the test suite.
 from __future__ import annotations
 
 import logging
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Set
+
+if TYPE_CHECKING:
+    from repro.server.peer import Peer
 
 logger = logging.getLogger("repro.replication")
 
@@ -50,7 +53,7 @@ class _Session:
     def __init__(self, sid: int) -> None:
         self.sid = sid
         self.attempts = 0
-        self.tried: set = set()
+        self.tried: Set[int] = set()
         self.target = -1
         self.awaiting = ""  # "probe_reply" | "ack"
         self.timer = None  # engine handle for the liveness timeout
@@ -72,7 +75,7 @@ class ReplicationManager:
         "n_replicas_evicted",
     )
 
-    def __init__(self, peer) -> None:
+    def __init__(self, peer: "Peer") -> None:
         self.peer = peer
         self.cfg = peer.cfg
         self._session: Optional[_Session] = None

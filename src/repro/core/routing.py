@@ -32,7 +32,11 @@ the equivalence tests cross-check the two implementations.
 from __future__ import annotations
 
 import enum
-from typing import List, Tuple
+import random
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:
+    from repro.server.peer import Peer
 
 
 class RouteAction(enum.Enum):
@@ -78,7 +82,7 @@ class RouteDecision:
         )
 
 
-def closest_hosted(peer, dest: int) -> Tuple[int, int]:
+def closest_hosted(peer: "Peer", dest: int) -> Tuple[int, int]:
     """The hosted node closest to ``dest`` and its distance.
 
     Every server owns at least one node, so this always exists.
@@ -116,7 +120,7 @@ def closest_hosted(peer, dest: int) -> Tuple[int, int]:
     return best, best_d
 
 
-def structural_next(peer, h_star: int, dest: int) -> int:
+def structural_next(peer: "Peer", h_star: int, dest: int) -> int:
     """The neighbor of ``h_star`` one step toward ``dest``.
 
     If ``h_star`` is an ancestor of ``dest`` this is the child on the
@@ -125,7 +129,7 @@ def structural_next(peer, h_star: int, dest: int) -> int:
     return peer.ns.step_toward(h_star, dest)
 
 
-def scan_cache(peer, dest: int, best_d: int) -> Tuple[int, int]:
+def scan_cache(peer: "Peer", dest: int, best_d: int) -> Tuple[int, int]:
     """Best cache candidate strictly closer than ``best_d``.
 
     Returns ``(node, distance)`` or ``(-1, best_d)`` when nothing beats
@@ -161,7 +165,7 @@ def scan_cache(peer, dest: int, best_d: int) -> Tuple[int, int]:
     return best, best_d
 
 
-def digest_shortcut(peer, dest: int, best_d: int) -> Tuple[int, int, int]:
+def digest_shortcut(peer: "Peer", dest: int, best_d: int) -> Tuple[int, int, int]:
     """Probe known digests for a node strictly closer than ``best_d``.
 
     Tests ``dest`` and its ancestors, deepest first, against the most
@@ -199,7 +203,7 @@ def digest_shortcut(peer, dest: int, best_d: int) -> Tuple[int, int, int]:
     return -1, -1, best_d
 
 
-def decide(peer, dest: int) -> RouteDecision:
+def decide(peer: "Peer", dest: int) -> RouteDecision:
     """One full routing step for a query destined to ``dest`` at ``peer``."""
     if peer.hosts(dest):
         return RouteDecision(
@@ -264,7 +268,9 @@ def decide(peer, dest: int) -> RouteDecision:
 
     # resolve the winning candidate's map to a next-hop server
     if source == "cache":
-        entry = peer.cache.get(via) or []
+        entry = peer.cache.get(via)
+        if entry is None:
+            entry = []
         server = _select_filtered(peer, via, entry, rng, sid)
         if server >= 0:
             return RouteDecision(
@@ -277,7 +283,9 @@ def decide(peer, dest: int) -> RouteDecision:
         best_d = d_star - 1
         source = "struct"
 
-    entry = peer.maps.get(via) or []
+    entry = peer.maps.get(via)
+    if entry is None:
+        entry = []
     server = _select_filtered(peer, via, entry, rng, sid)
     if server >= 0:
         return RouteDecision(
@@ -287,7 +295,7 @@ def decide(peer, dest: int) -> RouteDecision:
     return RouteDecision(RouteAction.FAIL, via=via, source=source, distance=best_d)
 
 
-def _select(entry: List[int], rng, exclude: int) -> int:
+def _select(entry: List[int], rng: random.Random, exclude: int) -> int:
     """Random host from a map, excluding ``exclude``; -1 when none."""
     n = len(entry)
     if n == 1:
@@ -301,7 +309,9 @@ def _select(entry: List[int], rng, exclude: int) -> int:
     return eligible[rng.randrange(len(eligible))]
 
 
-def _select_filtered(peer, node: int, entry: List[int], rng, exclude: int) -> int:
+def _select_filtered(
+    peer: "Peer", node: int, entry: List[int], rng: random.Random, exclude: int
+) -> int:
     """Digest-aware replica selection (paper section 3.7, map filtering).
 
     Entries whose last known digest *denies* hosting ``node`` are
@@ -324,7 +334,7 @@ def _select_filtered(peer, node: int, entry: List[int], rng, exclude: int) -> in
     return eligible[rng.randrange(len(eligible))]
 
 
-def inferable_names(peer, dest: int) -> List[int]:
+def inferable_names(peer: "Peer", dest: int) -> List[int]:
     """Gen(S): every node id the server can infer (paper section 3.6.1).
 
     Hosted, neighboring, and cached node ids, the destination, plus --

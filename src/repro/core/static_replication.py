@@ -16,7 +16,11 @@ placement vs load-adaptive placement), not the mechanism.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:
+    from repro.namespace.tree import Namespace
+    from repro.server.peer import Peer
 
 from repro.cluster.system import System
 
@@ -75,7 +79,7 @@ def replicate_top_levels(
     return placed
 
 
-def _note_without_stats(owner, node: int, target: int) -> None:
+def _note_without_stats(owner: "Peer", node: int, target: int) -> None:
     """Owner map/advertisement update minus the stats recording."""
     from repro.server.replica_store import advert_push
 
@@ -91,7 +95,7 @@ def _note_without_stats(owner, node: int, target: int) -> None:
         entry.insert(0, target)
 
 
-def static_replica_count(ns, depth_limit: int, copies: int) -> int:
+def static_replica_count(ns: "Namespace", depth_limit: int, copies: int) -> int:
     """Replicas a static deployment pays for, regardless of demand."""
     return copies * sum(
         1 for v in range(len(ns)) if ns.depth[v] <= depth_limit

@@ -73,7 +73,10 @@ from repro.sim.memsize import deep_sizeof
 from repro.sim.rng import exponential
 from repro.sim.stats import NullSink
 
+# det: ok(env-read) -- bench-harness knobs (repeat count, regression
+# tolerance); they shape the measurement, never a run fingerprint
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+# det: ok(env-read) -- same bench-harness knob family as REPEATS above
 TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.20"))
 
 

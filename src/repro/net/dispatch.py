@@ -47,7 +47,7 @@ class DispatchRegistry:
 
     def register(
         self, msg_type: type, handler: Optional[Handler] = None
-    ) -> Callable:
+    ) -> Callable[..., Any]:
         """Register ``handler`` for ``msg_type`` (last registration wins).
 
         ``handler`` is a callable ``(target, msg)`` or the name of a
@@ -60,7 +60,7 @@ class DispatchRegistry:
         if not isinstance(msg_type, type):
             raise TypeError(f"msg_type must be a class, got {msg_type!r}")
         if handler is None:
-            def decorator(fn: Callable) -> Callable:
+            def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
                 self._handlers[msg_type] = fn
                 return fn
             return decorator
@@ -115,7 +115,9 @@ class DispatchRegistry:
                 bound[msg_type] = getattr(target, handler)
             else:
                 # freeze the loop variable per entry
-                def _call(msg, _h=handler, _t=target):
+                def _call(
+                    msg: Any, _h: Callable[..., Any] = handler, _t: Any = target
+                ) -> None:
                     _h(_t, msg)
                 bound[msg_type] = _call
         return bound

@@ -19,7 +19,7 @@ walked so far (for path-propagation caching).
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Advertisement:
@@ -207,7 +207,7 @@ class ReplicaPayload:
         meta_version: int,
         node_map: List[int],
         context: Dict[int, List[int]],
-        meta=None,
+        meta: Any = None,
     ) -> None:
         self.node = node
         self.meta_version = meta_version

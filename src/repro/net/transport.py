@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import random
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.sim.engine import Engine, EventHandle, ShardError
 from repro.sim.rng import exponential
@@ -96,7 +96,7 @@ class Transport:
         self.net_jitter = net_jitter
         self._jitter_rng = random.Random(jitter_seed ^ 0x31AB5)
         self._endpoints: Dict[int, Callable[[Any], None]] = {}
-        self.failed: set = set()
+        self.failed: Set[int] = set()
         self.on_lost: Optional[Callable[[int, Any], None]] = None
         self.n_sent = 0
         self.n_control_sent = 0

@@ -120,7 +120,8 @@ class ReplicaStore:
         peer.ranking.track(node)
         entry = peer.maps.get(node)
         merged = merge_maps(
-            entry or [], payload.node_map, peer.cfg.rmap, peer.rng,
+            entry if entry is not None else [],
+            payload.node_map, peer.cfg.rmap, peer.rng,
             advertised=(peer.sid,),
         )
         peer.maps[node] = merged

@@ -179,7 +179,10 @@ class RoutingCore:
             entry = peer.maps.get(req.node) or (
                 peer.cache.peek(req.node) if peer.cache is not None else None
             )
-            reply.redirect_map = [s for s in (entry or []) if s != peer.sid]
+            reply.redirect_map = [
+                s for s in (entry if entry is not None else ())
+                if s != peer.sid
+            ]
         peer.sys.transport.send(req.origin, reply)
 
     def __repr__(self) -> str:

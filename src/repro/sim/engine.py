@@ -61,7 +61,9 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Tuple[float, int, Optional[EventHandle], Callable, tuple]] = []
+        self._heap: List[
+            Tuple[float, int, Optional[EventHandle], Callable[..., None], tuple]
+        ] = []
         self._seq = 0
         self._running = False
         self.n_dispatched = 0
@@ -81,7 +83,7 @@ class Engine:
         )
 
     def schedule(
-        self, time: float, fn: Callable, *args: Any, handle: bool = False
+        self, time: float, fn: Callable[..., None], *args: Any, handle: bool = False
     ) -> Optional[EventHandle]:
         """Schedule ``fn(*args)`` at absolute ``time``.
 
@@ -100,7 +102,7 @@ class Engine:
         return h
 
     def schedule_after(
-        self, delay: float, fn: Callable, *args: Any, handle: bool = False
+        self, delay: float, fn: Callable[..., None], *args: Any, handle: bool = False
     ) -> Optional[EventHandle]:
         """Schedule ``fn(*args)`` after a non-negative ``delay``."""
         if delay < 0:

@@ -25,7 +25,7 @@ import sys
 from array import array
 from collections import OrderedDict, deque
 from types import BuiltinFunctionType, FunctionType, MethodType, ModuleType
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Set
 
 _ATOMIC = (int, float, complex, bool, bytes, str, bytearray, memoryview,
            type(None), type(NotImplemented), type(Ellipsis))
@@ -135,5 +135,5 @@ def report(objects: Dict[str, Any]) -> Dict[str, int]:
     Earlier entries absorb state shared with later ones, so order the
     dict from most- to least-interesting.
     """
-    seen: set = set()
+    seen: Set[int] = set()
     return {label: deep_sizeof(o, seen) for label, o in objects.items()}

@@ -32,9 +32,12 @@ import heapq
 import os
 import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.sim.engine import Engine, SimError
+
+if TYPE_CHECKING:  # circular at runtime: cluster.builder imports us
+    from repro.cluster.system import System
 
 __all__ = [
     "ProfiledEngine",
@@ -52,7 +55,7 @@ __all__ = [
 
 _ACTIVE = False
 _ENGINES: List["ProfiledEngine"] = []
-_SYSTEMS: List = []
+_SYSTEMS: List["System"] = []
 
 
 class ProfiledEngine(Engine):
@@ -68,7 +71,7 @@ class ProfiledEngine(Engine):
 
     def __init__(self, label: Optional[str] = None) -> None:
         super().__init__()
-        self.profile: Dict[str, List] = {}
+        self.profile: Dict[str, List[float]] = {}
         self.wall_time = 0.0
         # display label for multi-engine reports (e.g. "shard3" when a
         # sharded run hands every shard its own profiled engine)
@@ -204,7 +207,7 @@ def make_engine(label: Optional[str] = None) -> Engine:
     return eng
 
 
-def note_system(system) -> None:
+def note_system(system: "System") -> None:
     """Register a built system so its per-peer routing-decision counters
     (resolved/direct/struct/cache/digest/fail) appear in the report.
 
@@ -225,10 +228,10 @@ def engines() -> List[ProfiledEngine]:
 
 def aggregate(
     engs: Optional[List[ProfiledEngine]] = None,
-) -> Tuple[Dict[str, List], int, float]:
+) -> Tuple[Dict[str, List[float]], int, float]:
     """Merge profiles: ``(per-handler, total events, total wall s)``."""
     engs = _ENGINES if engs is None else engs
-    merged: Dict[str, List] = {}
+    merged: Dict[str, List[float]] = {}
     n_events = 0
     wall = 0.0
     for eng in engs:
@@ -244,7 +247,7 @@ def aggregate(
     return merged, n_events, wall
 
 
-def decision_counts(systems: Optional[List] = None) -> Dict[str, int]:
+def decision_counts(systems: Optional[List["System"]] = None) -> Dict[str, int]:
     """Routing decisions by winning candidate class, across systems.
 
     Sums the always-on per-peer counters
@@ -274,6 +277,8 @@ def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
         f"{'handler':<44} {'events':>10} {'cum(s)':>9} "
         f"{'us/event':>9} {'share':>7}"
     ]
+    # det: ok(unordered-iteration) -- display-only total in the profile
+    # table; merged is built in deterministic insertion order in-process
     handler_time = sum(sec for _, sec in merged.values())
     for key, (cnt, sec) in sorted(
         merged.items(), key=lambda kv: kv[1][1], reverse=True
@@ -314,6 +319,8 @@ def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
                 f"{eng.wall_time:>8.3f}s {erate:>10,.0f} ev/s  {top_txt}"
             )
     decisions = decision_counts()
+    # det: ok(unordered-iteration) -- integer decision counters; int
+    # addition commutes exactly, any order gives the same total
     total_dec = sum(decisions.values())
     if total_dec:
         lines.append("routing decisions by candidate class:")
@@ -347,9 +354,9 @@ def main(argv: List[str]) -> int:
     try:
         for name in wanted:
             print(f"\n=== {name} ===")
-            t0 = time.time()
+            t0 = time.perf_counter()
             EXPERIMENTS[name](scale)
-            print(f"  [{time.time() - t0:.1f}s]")
+            print(f"  [{time.perf_counter() - t0:.1f}s]")
         print("\n--- event-loop profile ---")
         print(render_report())
     finally:

@@ -56,7 +56,19 @@ from __future__ import annotations
 import heapq
 import os
 import warnings
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
 
 from repro.cluster.builder import _resolve_owner, build_shard_system, build_system
 from repro.cluster.config import SystemConfig
@@ -221,7 +233,9 @@ def replay_stats(logs: Sequence[List[tuple]], max_depth: int) -> SystemStats:
     """
     stats = SystemStats(max_depth)
 
-    def keyed(shard_id: int, log: List[tuple]):
+    def keyed(
+        shard_id: int, log: List[tuple]
+    ) -> Iterator[Tuple[float, int, int, tuple]]:
         # a real function, not a nested genexp: the genexp would look
         # up shard_id lazily and stamp every stream with the last one
         return ((rec[0], shard_id, idx, rec) for idx, rec in enumerate(log))
@@ -273,10 +287,10 @@ class ShardResult:
         if kw:
             raise TypeError(f"unexpected fields {sorted(kw)}")
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self.__slots__}
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         for name, value in state.items():
             setattr(self, name, value)
 
@@ -567,6 +581,9 @@ def resolve_shards(
     """
     n = requested
     if n is None:
+        # det: ok(env-read) -- sanctioned run-level knob: resolved once
+        # here before any engine starts, mirroring REPRO_WORKERS in the
+        # parallel.py choke point (DESIGN.md section 12)
         raw = os.environ.get("REPRO_SHARDS", "").strip().lower()
         if raw in ("", "0", "none", "off"):
             n = 1
@@ -600,6 +617,8 @@ def resolve_backend(requested: Optional[str] = None, n_shards: int = 1) -> str:
     """
     from repro.experiments.parallel import shard_process_budget
 
+    # det: ok(env-read) -- sanctioned run-level knob: resolved once here
+    # before any engine starts; the backend never alters fingerprints
     b = requested or os.environ.get("REPRO_SHARD_BACKEND", "").strip().lower()
     b = b or "auto"
     if b not in ("auto", "inline", "process"):
@@ -813,7 +832,7 @@ class _ProcessStepper:
             w.close()
 
 
-def _shard_worker_main(conn) -> None:
+def _shard_worker_main(conn: "Connection") -> None:
     """Worker-process loop: init once, then step per barrier."""
     import traceback
 

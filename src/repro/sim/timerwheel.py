@@ -81,7 +81,7 @@ class TimerWheel:
         # bucket index -> {token: (deadline, fn, args, handle)}; dicts
         # preserve insertion order, which is arming order within a bucket
         self._buckets: Dict[
-            int, Dict[int, Tuple[float, Callable, tuple, TimerHandle]]
+            int, Dict[int, Tuple[float, Callable[..., None], tuple, TimerHandle]]
         ] = {}
         self._token = 0
         self.n_armed = 0
@@ -98,7 +98,7 @@ class TimerWheel:
         return len(self._buckets)
 
     def schedule_after(
-        self, delay: float, fn: Callable, *args: Any
+        self, delay: float, fn: Callable[..., None], *args: Any
     ) -> TimerHandle:
         """Arm ``fn(*args)`` to fire exactly ``delay`` from now."""
         if delay < 0:

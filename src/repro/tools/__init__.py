@@ -1,0 +1,7 @@
+"""Developer tooling for the reproduction: static analysis and gates.
+
+:mod:`repro.tools.detlint` is the determinism / shard-safety linter
+behind ``python -m repro lint`` (see DESIGN.md section 13).  Nothing in
+this package is imported by the simulation itself -- tools may use any
+stdlib facility (including ones the linter bans from protocol code).
+"""

@@ -1,0 +1,102 @@
+"""Committed baseline: legacy violations burn down, new ones fail.
+
+The baseline is a JSON file mapping :meth:`Violation.baseline_key`
+(rule id + relative path + stripped source line -- deliberately free of
+line numbers so unrelated edits don't churn it) to an occurrence count.
+
+Semantics (the ratchet):
+
+* a violation whose key is in the baseline, within its count, is
+  *grandfathered* -- reported, but does not fail the run;
+* a violation beyond the baseline (new key, or more occurrences of a
+  baselined key than recorded) is *new* and fails the run;
+* a baseline entry that no longer fires at all is *stale* and also
+  fails the run, with instructions to ``--write-baseline`` -- the
+  baseline may only shrink, never silently rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.tools.detlint.registry import Violation
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "detlint_baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a valid detlint baseline."""
+
+
+@dataclasses.dataclass
+class Baseline:
+    """Grandfathered violation counts keyed by baseline key."""
+
+    entries: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON ({exc})") from None
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != BASELINE_VERSION
+            or not isinstance(raw.get("entries"), dict)
+        ):
+            raise BaselineError(
+                f"{path}: expected {{'version': {BASELINE_VERSION}, "
+                f"'entries': {{key: count}}}}"
+            )
+        entries: Dict[str, int] = {}
+        for key, count in raw["entries"].items():
+            if not isinstance(key, str) or not isinstance(count, int) \
+                    or count < 1:
+                raise BaselineError(
+                    f"{path}: bad entry {key!r}: {count!r}")
+            entries[key] = count
+        return cls(entries=entries)
+
+    @classmethod
+    def from_violations(cls, violations: List[Violation]) -> "Baseline":
+        return cls(entries=dict(
+            Counter(v.baseline_key() for v in violations)))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def partition(
+        self, violations: List[Violation]
+    ) -> Tuple[List[Violation], List[Violation], List[str]]:
+        """Split into (new, grandfathered) and list stale keys.
+
+        Within one key, the first ``count`` occurrences (source order)
+        are grandfathered and the rest are new -- so *adding* an
+        instance of a baselined pattern still fails.
+        """
+        seen: Counter = Counter()
+        new: List[Violation] = []
+        old: List[Violation] = []
+        for v in violations:
+            key = v.baseline_key()
+            seen[key] += 1
+            if seen[key] <= self.entries.get(key, 0):
+                old.append(v)
+            else:
+                new.append(v)
+        stale = [k for k in sorted(self.entries)
+                 if seen[k] < self.entries[k]]
+        return new, old, stale

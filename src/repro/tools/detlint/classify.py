@@ -1,0 +1,110 @@
+"""File classifier: which determinism contract applies to which file.
+
+Rules are scoped by *category*, not per-file configuration:
+
+* ``protocol`` -- simulation/protocol code that must replay RNG streams
+  draw-for-draw across serial, sharded, and cached execution.  This is
+  every package whose state feeds fingerprints: ``sim/``, ``core/``,
+  ``server/``, ``net/``, ``cluster/``, ``namespace/``, ``filters/``,
+  ``workload/``.
+* ``chokepoint`` -- the two sanctioned configuration funnels
+  (``experiments/common.py``, ``experiments/parallel.py``).  Only these
+  may read ``os.environ``; everything else takes configuration as
+  arguments so a run's inputs are visible in its RunSpec fingerprint.
+* ``experiments`` -- campaign/figure glue: cross-run orchestration that
+  never executes inside an engine window.
+* ``tools`` -- this linter and friends; exempt from protocol rules.
+* ``other`` -- anything else (viz, analysis, client, top-level).
+
+The classifier keys on the path *relative to the package root* (the
+directory holding ``__main__.py``), so test fixtures that mimic the
+layout (``fixtures/sim/foo.py``) classify exactly like the real tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Optional, Tuple
+
+PROTOCOL = "protocol"
+CHOKEPOINT = "chokepoint"
+EXPERIMENTS = "experiments"
+TOOLS = "tools"
+OTHER = "other"
+
+ALL_CATEGORIES = frozenset({PROTOCOL, CHOKEPOINT, EXPERIMENTS, TOOLS, OTHER})
+
+PROTOCOL_DIRS = frozenset(
+    {"sim", "core", "server", "net", "cluster", "namespace",
+     "filters", "workload"}
+)
+
+#: the only files allowed to read ``os.environ``
+ENV_CHOKEPOINTS = frozenset(
+    {("experiments", "common.py"), ("experiments", "parallel.py")}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FileClass:
+    """A classified file: absolute path, root-relative path, category."""
+
+    path: str
+    relpath: str
+    category: str
+
+
+def find_package_root(path: Path) -> Optional[Path]:
+    """The enclosing package root: nearest ancestor with ``__main__.py``.
+
+    For the real tree that is ``src/repro``; fixtures supply an
+    explicit root instead.
+    """
+    for parent in [path] + list(path.parents):
+        if parent.is_dir() and (parent / "__main__.py").is_file():
+            return parent
+    return None
+
+
+def _category(parts: Tuple[str, ...]) -> str:
+    if not parts:
+        return OTHER
+    if tuple(parts) in ENV_CHOKEPOINTS:
+        return CHOKEPOINT
+    head = parts[0]
+    if head in PROTOCOL_DIRS:
+        return PROTOCOL
+    if head == "experiments":
+        return EXPERIMENTS
+    if head == "tools":
+        return TOOLS
+    return OTHER
+
+
+def classify(path: Path, root: Optional[Path] = None) -> FileClass:
+    """Classify one source file.
+
+    Args:
+        path: the file to classify.
+        root: package root the category layout hangs off; auto-detected
+            via :func:`find_package_root` when omitted.  Files outside
+            the root classify as ``other``.
+    """
+    path = path.resolve()
+    if root is None:
+        root = find_package_root(path)
+    else:
+        root = root.resolve()
+    if root is not None:
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = None
+        if rel is not None:
+            return FileClass(
+                path=str(path),
+                relpath=rel.as_posix(),
+                category=_category(rel.parts),
+            )
+    return FileClass(path=str(path), relpath=path.name, category=OTHER)

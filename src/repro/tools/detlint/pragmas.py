@@ -1,0 +1,173 @@
+"""Suppression pragmas: ``# det: ok(<rule>) -- <justification>``.
+
+A violation may be waived in place, but never silently: the pragma
+must name the rule (kebab-case name or ``DETnnn`` id) *and* carry a
+justification after ``--``.  A pragma suppresses violations of the
+named rules on its own line, or -- when it is a standalone comment --
+on the next non-comment line, so a justification may run over several
+comment lines above a long statement::
+
+    # det: ok(unordered-iteration) -- int counters; addition commutes
+    total = sum(self._counts.values())
+
+Defective pragmas are themselves violations (rule ``DET000``
+``bad-pragma``): unknown rule names, missing justification, and
+pragmas that suppress nothing (stale waivers must be deleted, not
+accumulated).  Comments are extracted with :mod:`tokenize`, so
+pragma-shaped text inside string literals is ignored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from repro.tools.detlint.registry import FileContext, Violation
+
+PRAGMA_PREFIX_RE = re.compile(r"#\s*det\s*:")
+PRAGMA_RE = re.compile(
+    r"#\s*det\s*:\s*ok\s*\(\s*(?P<rules>[^)]*?)\s*\)\s*"
+    r"(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+BAD_PRAGMA_ID = "DET000"
+BAD_PRAGMA_NAME = "bad-pragma"
+
+
+@dataclasses.dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    col: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: for a comment-only pragma: the next non-comment line it waives
+    target_line: int
+    used: bool = False
+
+    def covers(self, line: int) -> bool:
+        return line in (self.line, self.target_line)
+
+
+def _bad(ctx: FileContext, line: int, col: int, message: str) -> Violation:
+    return Violation(
+        rule_id=BAD_PRAGMA_ID,
+        rule_name=BAD_PRAGMA_NAME,
+        path=ctx.fclass.relpath,
+        line=line,
+        col=col,
+        message=message,
+        snippet=ctx.snippet(line),
+    )
+
+
+def parse_pragmas(
+    ctx: FileContext, known: Set[str]
+) -> Tuple[List[Pragma], List[Violation]]:
+    """Extract pragmas from ``ctx.source``; malformed ones become
+    ``bad-pragma`` violations.
+
+    Args:
+        known: the set of acceptable rule identifiers (names and ids).
+    """
+    pragmas: List[Pragma] = []
+    problems: List[Violation] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(ctx.source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []  # the engine reports the parse error separately
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string
+        if not PRAGMA_PREFIX_RE.match(text):
+            continue
+        line, col = tok.start
+        m = PRAGMA_RE.match(text)
+        if m is None:
+            problems.append(_bad(
+                ctx, line, col,
+                "unparseable det pragma; expected "
+                "'# det: ok(<rule>) -- <justification>'",
+            ))
+            continue
+        why = m.group("why") or ""
+        names = tuple(
+            s.strip() for s in m.group("rules").split(",") if s.strip()
+        )
+        if not names:
+            problems.append(_bad(
+                ctx, line, col, "det pragma names no rule"))
+            continue
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            problems.append(_bad(
+                ctx, line, col,
+                f"det pragma names unknown rule(s) {unknown}; "
+                f"run 'python -m repro lint --list-rules'",
+            ))
+            continue
+        if not why:
+            problems.append(_bad(
+                ctx, line, col,
+                "det pragma without justification; write "
+                "'# det: ok(<rule>) -- <why this is deterministic>'",
+            ))
+            continue
+        target = line
+        if ctx.snippet(line).startswith("#"):
+            # standalone comment: waive the next non-comment line, so a
+            # justification may continue over further comment lines
+            cursor = line + 1
+            while cursor <= len(ctx.lines):
+                text = ctx.snippet(cursor)
+                if text and not text.startswith("#"):
+                    target = cursor
+                    break
+                cursor += 1
+        pragmas.append(Pragma(
+            line=line, col=col, rules=names,
+            justification=why, target_line=target,
+        ))
+    return pragmas, problems
+
+
+def apply_pragmas(
+    ctx: FileContext,
+    pragmas: List[Pragma],
+    alias: Dict[str, str],
+) -> Tuple[List[Violation], List[Violation]]:
+    """Split ``ctx.violations`` into (kept, suppressed); unused pragmas
+    are appended to *kept* as ``bad-pragma`` violations.
+
+    Args:
+        alias: maps every acceptable identifier (name or ``DETnnn``) to
+            the canonical rule name, so pragmas may use either form.
+    """
+    kept: List[Violation] = []
+    suppressed: List[Violation] = []
+    for v in ctx.violations:
+        waived = False
+        for p in pragmas:
+            if not p.covers(v.line):
+                continue
+            if v.rule_name in (alias.get(n, n) for n in p.rules):
+                p.used = True
+                waived = True
+                break
+        (suppressed if waived else kept).append(v)
+    for p in pragmas:
+        if not p.used:
+            kept.append(_bad(
+                ctx, p.line, p.col,
+                f"stale det pragma ({', '.join(p.rules)}) suppresses "
+                f"nothing on line {p.line} or {p.target_line}; "
+                f"delete it",
+            ))
+    return kept, suppressed

@@ -1,0 +1,135 @@
+"""Rule registry and the violation record shared by every rule.
+
+A :class:`Rule` couples a stable id (``DET001`` ...), a kebab-case name
+(what pragmas reference), the file categories it applies to, and a
+visitor factory.  Rules register themselves at import time via
+:func:`register_rule`; :func:`all_rules` is the ordered catalog the
+engine, the CLI ``--list-rules`` output, and the docs all read from.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.tools.detlint.classify import FileClass
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule_id: str
+    rule_name: str
+    path: str  # classifier-relative posix path (stable across checkouts)
+    line: int
+    col: int
+    message: str
+    snippet: str  # stripped source line, also the baseline key material
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.rule_name}: {self.message}"
+        )
+
+    def baseline_key(self) -> str:
+        """Line-number-free identity so baselines survive code motion."""
+        return f"{self.rule_id}:{self.path}:{self.snippet}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class FileContext:
+    """Everything a rule visitor needs about the file under analysis."""
+
+    __slots__ = ("fclass", "source", "lines", "violations")
+
+    def __init__(self, fclass: FileClass, source: str) -> None:
+        self.fclass = fclass
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.violations: List[Violation] = []
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        self.violations.append(
+            Violation(
+                rule_id=rule.id,
+                rule_name=rule.name,
+                path=self.fclass.relpath,
+                line=line,
+                col=col,
+                message=message,
+                snippet=self.snippet(line),
+            )
+        )
+
+
+VisitorFactory = Callable[["Rule", FileContext], ast.NodeVisitor]
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One determinism rule: identity, scope, and visitor factory."""
+
+    id: str
+    name: str
+    summary: str
+    categories: FrozenSet[str]
+    factory: VisitorFactory
+
+    def applies_to(self, fclass: FileClass) -> bool:
+        return fclass.category in self.categories
+
+    def make_visitor(self, ctx: FileContext) -> ast.NodeVisitor:
+        return self.factory(self, ctx)
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(
+    rule_id: str,
+    name: str,
+    summary: str,
+    categories: FrozenSet[str],
+) -> Callable[[VisitorFactory], VisitorFactory]:
+    """Class/function decorator registering a visitor factory as a rule."""
+
+    def decorator(factory: VisitorFactory) -> VisitorFactory:
+        if rule_id in _RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        by_name = {r.name for r in _RULES.values()}
+        if name in by_name:
+            raise ValueError(f"duplicate rule name {name}")
+        _RULES[rule_id] = Rule(
+            id=rule_id, name=name, summary=summary,
+            categories=categories, factory=factory,
+        )
+        return factory
+
+    return decorator
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, ordered by id (imports the rule modules)."""
+    import repro.tools.detlint.rules  # noqa: F401  (registration side effect)
+
+    return tuple(_RULES[k] for k in sorted(_RULES))
+
+
+def rule_by_name(name: str) -> Optional[Rule]:
+    """Look a rule up by kebab-case name or ``DETnnn`` id."""
+    for rule in all_rules():
+        if rule.name == name or rule.id == name:
+            return rule
+    return None

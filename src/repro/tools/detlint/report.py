@@ -1,0 +1,87 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+The JSON document is what the CI ``det-lint`` job uploads as an
+artifact; its shape is part of the tool's public contract (see
+docs/API.md) and is covered by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List
+
+from repro.tools.detlint.engine import LintResult
+from repro.tools.detlint.registry import Rule, Violation
+
+REPORT_VERSION = 1
+
+
+def _lines_for(violations: List[Violation], tag: str = "") -> List[str]:
+    suffix = f"  [{tag}]" if tag else ""
+    return [v.format() + suffix for v in violations]
+
+
+def text_report(result: LintResult, verbose: bool = False) -> str:
+    """The terminal report: violations, then a one-line verdict."""
+    lines: List[str] = []
+    lines.extend(_lines_for(result.new_violations))
+    lines.extend(_lines_for(result.baselined, tag="baselined"))
+    if verbose:
+        lines.extend(_lines_for(result.suppressed, tag="pragma-waived"))
+    for err in result.parse_errors:
+        lines.append(f"{err}  [parse-error]")
+    for key in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry no longer fires: {key!r} "
+            f"-- ratchet down with --write-baseline"
+        )
+    by_rule = Counter(v.rule_id for v in result.new_violations)
+    summary = (
+        f"checked {len(result.files)} file(s): "
+        f"{len(result.new_violations)} new violation(s)"
+        + (f" ({', '.join(f'{k} x{by_rule[k]}' for k in sorted(by_rule))})"
+           if by_rule else "")
+        + f", {len(result.baselined)} baselined"
+        + f", {len(result.suppressed)} pragma-waived"
+        + (f", {len(result.stale_baseline)} stale baseline entr"
+           + ("y" if len(result.stale_baseline) == 1 else "ies")
+           if result.stale_baseline else "")
+    )
+    lines.append(summary)
+    lines.append("det-lint: " + ("OK" if result.ok else "FAILED"))
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult, rules: List[Rule]) -> Dict[str, object]:
+    """The machine-readable report (CI artifact)."""
+    return {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "rules": [
+            {
+                "id": r.id,
+                "name": r.name,
+                "summary": r.summary,
+                "categories": sorted(r.categories),
+            }
+            for r in rules
+        ],
+        "checked_files": [f.relpath for f in result.files],
+        "new_violations": [v.to_dict() for v in result.new_violations],
+        "baselined": [v.to_dict() for v in result.baselined],
+        "suppressed": [v.to_dict() for v in result.suppressed],
+        "stale_baseline": list(result.stale_baseline),
+        "parse_errors": list(result.parse_errors),
+        "summary": {
+            "files": len(result.files),
+            "new": len(result.new_violations),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale": len(result.stale_baseline),
+        },
+    }
+
+
+def render_json(result: LintResult, rules: List[Rule]) -> str:
+    return json.dumps(json_report(result, rules), indent=2) + "\n"

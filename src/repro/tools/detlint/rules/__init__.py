@@ -1,0 +1,24 @@
+"""The rule catalog.  Importing this package registers every rule.
+
+| id     | name                      | scope                  |
+|--------|---------------------------|------------------------|
+| DET000 | bad-pragma                | everywhere (implicit)  |
+| DET001 | wall-clock-entropy        | protocol               |
+| DET002 | sized-presence-truthiness | everywhere             |
+| DET003 | loop-closure-capture      | everywhere             |
+| DET004 | unordered-iteration       | protocol               |
+| DET005 | env-read                  | all but chokepoints    |
+| DET006 | handler-global-mutation   | protocol               |
+
+``DET000`` is not a visitor: defective pragmas are produced by the
+pragma parser itself (:mod:`repro.tools.detlint.pragmas`).
+"""
+
+from repro.tools.detlint.rules import (  # noqa: F401
+    closures,
+    entropy,
+    envreads,
+    ordering,
+    shardsafety,
+    truthiness,
+)

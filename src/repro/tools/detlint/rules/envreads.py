@@ -1,0 +1,86 @@
+"""DET005 env-read: configuration flows through two choke points.
+
+A run's behavior must be a function of its RunSpec -- that is what the
+campaign layer fingerprints and caches on.  An ``os.environ`` read
+anywhere else is configuration the fingerprint cannot see: two
+"identical" runs diverge because a worker inherited a different
+environment.  Only the sanctioned choke points
+(``experiments/common.py``, ``experiments/parallel.py``) may read the
+environment; they resolve once, at entry, into explicit arguments.
+
+Reads are flagged (``os.environ[...]``, ``os.environ.get``,
+``os.getenv``, iteration, containment); *writes* to ``os.environ`` are
+not -- exporting resolved configuration to worker processes is the
+choke points' job, and an assignment target is not a read.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.detlint import classify
+from repro.tools.detlint.registry import FileContext, Rule, register_rule
+from repro.tools.detlint.rules._util import ImportMap
+
+
+class EnvReadVisitor(ast.NodeVisitor):
+    def __init__(self, rule: Rule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.imports = ImportMap()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self.imports.collect(node)
+        self.generic_visit(node)
+
+    def _is_environ(self, node: ast.AST) -> bool:
+        return self.imports.resolve(node) == ("os", "environ")
+
+    def _report(self, node: ast.AST, what: str) -> None:
+        self.ctx.report(
+            self.rule, node,
+            f"{what} outside the configuration choke points "
+            f"(experiments/common.py, experiments/parallel.py); "
+            f"resolve once there and pass the value as an argument",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.imports.resolve(node.func) == ("os", "getenv"):
+            self._report(node, "os.getenv() read")
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and self._is_environ(node.func.value)
+            and node.func.attr in (
+                "get", "setdefault", "items", "keys", "values", "copy",
+            )
+        ):
+            self._report(node, f"os.environ.{node.func.attr}() read")
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_environ(node.value) and isinstance(node.ctx, ast.Load):
+            self._report(node, "os.environ[...] read")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+            for cmp in node.comparators:
+                if self._is_environ(cmp):
+                    self._report(node, "os.environ containment test")
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_environ(node.iter):
+            self._report(node.iter, "iteration over os.environ")
+        self.generic_visit(node)
+
+
+@register_rule(
+    "DET005",
+    "env-read",
+    "no os.environ reads outside experiments/common.py and "
+    "experiments/parallel.py",
+    classify.ALL_CATEGORIES - {classify.CHOKEPOINT},
+)
+def make_envread_visitor(rule: Rule, ctx: FileContext) -> ast.NodeVisitor:
+    return EnvReadVisitor(rule, ctx)

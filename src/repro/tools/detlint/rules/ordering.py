@@ -1,0 +1,146 @@
+"""DET004 unordered-iteration: order-sensitive sinks need an order.
+
+Two shapes are flagged in protocol code:
+
+* iteration over a *set expression* (set literal, ``set(...)`` /
+  ``frozenset(...)`` call, set comprehension) in a ``for`` statement or
+  comprehension.  Set order follows hash values; for strings those are
+  salted per process (PYTHONHASHSEED), so the visit order -- and any
+  RNG draw or float accumulation made per element -- can never replay.
+  Wrap the expression in ``sorted(...)``.
+* ``sum`` / ``math.fsum`` / ``statistics.*`` aggregation whose iterable
+  comes from ``dict.values()`` or a set expression without
+  ``sorted(...)``.  Even insertion-ordered dicts are a trap: the serial
+  engine and the sharded coordinator insert in different orders, and
+  float addition does not commute at the ulp -- exactly how PR 7's
+  per-bin stats needed a replay pass to match serial.  Summing
+  ``len(...)`` / ``int(...)`` elements is exempt (integer addition
+  commutes exactly).
+
+Deliberately not flagged: plain ``for ... in d.values()`` loops (dict
+order is deterministic per construction path; flagging every loop
+would bury the signal), ``min``/``max`` (order-independent for total
+orders), and anything already wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.tools.detlint import classify
+from repro.tools.detlint.registry import FileContext, Rule, register_rule
+from repro.tools.detlint.rules._util import terminal_name
+
+AGGREGATORS = frozenset({
+    "sum", "fsum", "mean", "median", "stdev", "pstdev", "variance",
+    "pvariance", "geometric_mean", "harmonic_mean",
+})
+
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func) in ("set", "frozenset")
+    return False
+
+
+def _unordered_source(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it yields in unordered/unstable order."""
+    if _is_set_expr(node):
+        return "a set expression"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "values"
+        and not node.args
+    ):
+        return ".values()"
+    return None
+
+
+def _int_safe(elt: ast.AST) -> bool:
+    """Summed elements provably integral: order cannot matter."""
+    if isinstance(elt, ast.Call) and terminal_name(elt.func) in (
+        "len", "int", "bool",
+    ):
+        return True
+    if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+        return True
+    return False
+
+
+class OrderingVisitor(ast.NodeVisitor):
+    def __init__(self, rule: Rule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+
+    # -- iteration over sets -------------------------------------------
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if _is_set_expr(iter_node):
+            self.ctx.report(
+                self.rule, iter_node,
+                "iteration over a set expression: visit order follows "
+                "salted hashes and cannot replay; wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- unordered aggregation -----------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = terminal_name(node.func)
+        if name in AGGREGATORS and node.args:
+            arg = node.args[0]
+            source = _unordered_source(arg)
+            if source is not None:
+                self.ctx.report(
+                    self.rule, node,
+                    f"{name}() over {source}: accumulation order is "
+                    f"not reproducible across construction paths and "
+                    f"float addition does not commute; iterate "
+                    f"sorted(...) (or suppress with a justified "
+                    f"pragma if the elements are provably integral)",
+                )
+            elif isinstance(arg, _COMP_NODES):
+                elt = arg.key if isinstance(arg, ast.DictComp) else arg.elt
+                if not _int_safe(elt):
+                    for gen in arg.generators:
+                        source = _unordered_source(gen.iter)
+                        if source is not None:
+                            self.ctx.report(
+                                self.rule, node,
+                                f"{name}() accumulates non-integral "
+                                f"elements drawn from {source}; "
+                                f"iterate sorted(...) so the float "
+                                f"accumulation order is reproducible",
+                            )
+                            break
+        self.generic_visit(node)
+
+
+@register_rule(
+    "DET004",
+    "unordered-iteration",
+    "no set-ordered iteration, and no float aggregation over "
+    "dict.values()/sets without sorted(...)",
+    frozenset({classify.PROTOCOL}),
+)
+def make_ordering_visitor(rule: Rule, ctx: FileContext) -> ast.NodeVisitor:
+    return OrderingVisitor(rule, ctx)

@@ -1,0 +1,193 @@
+"""DET006 handler-global-mutation: message handlers own no globals.
+
+Under the sharded coordinator every shard runs the same modules in its
+own process (or, inline, interleaved in one).  A dispatch handler that
+mutates *module-level* state therefore computes something different
+per execution topology: one process sees the union of all shards'
+mutations, N processes each see their own slice.  Handlers may touch
+``self`` and their message -- never the module.
+
+Handler discovery covers every registration form
+:class:`repro.net.dispatch.DispatchRegistry` supports::
+
+    REG = DispatchRegistry("peer")          # module-level registry
+    REG.register(QueryMessage, "_on_query") # method-name form
+    REG.register(ProbeMessage, on_probe)    # callable form
+
+    @REG.register(AdvertMessage)            # decorator form
+    def on_advert(target, msg): ...
+
+Inside a handler the rule flags ``global`` declarations, and attribute
+or subscript stores / mutating method calls (``append``, ``update``,
+``register`` ...) whose base is a module-level binding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.tools.detlint import classify
+from repro.tools.detlint.registry import FileContext, Rule, register_rule
+from repro.tools.detlint.rules._util import terminal_name, walk_scoped
+
+MUTATORS = frozenset({
+    "append", "appendleft", "add", "insert", "extend", "update",
+    "setdefault", "pop", "popleft", "popitem", "remove", "discard",
+    "clear", "register", "unregister", "push", "write",
+})
+
+FuncNode = Tuple[ast.AST, str]  # (def node, description)
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound by assignment at module level."""
+    out: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                for n in ast.walk(t):
+                    if isinstance(n, ast.Name):
+                        out.add(n.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                out.add(stmt.target.id)
+    return out
+
+
+def _registries(tree: ast.Module) -> Set[str]:
+    """Module-level names holding a DispatchRegistry instance."""
+    regs: Set[str] = set()
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Call)
+            and terminal_name(stmt.value.func) == "DispatchRegistry"
+        ):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    regs.add(t.id)
+    return regs
+
+
+def _handler_defs(tree: ast.Module) -> List[FuncNode]:
+    """Every function/method registered as a dispatch handler."""
+    regs = _registries(tree)
+
+    def is_register(call: ast.Call) -> bool:
+        f = call.func
+        return (
+            isinstance(f, ast.Attribute)
+            and f.attr == "register"
+            and isinstance(f.value, ast.Name)
+            and f.value.id in regs
+        )
+
+    named: Set[str] = set()  # string method-name registrations
+    funcs: Set[str] = set()  # plain-callable registrations by name
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and is_register(node):
+            for arg in node.args[1:]:
+                if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str):
+                    named.add(arg.value)
+                elif isinstance(arg, ast.Name):
+                    funcs.add(arg.id)
+
+    out: List[FuncNode] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name in named or node.name in funcs:
+            out.append((node, f"handler {node.name!r}"))
+            continue
+        for dec in node.decorator_list:
+            if isinstance(dec, ast.Call) and is_register(dec):
+                out.append((node, f"handler {node.name!r}"))
+                break
+    return out
+
+
+class ShardSafetyVisitor(ast.NodeVisitor):
+    def __init__(self, rule: Rule, ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+
+    def visit_Module(self, tree: ast.Module) -> None:
+        module_names = _module_bindings(tree)
+        for func, desc in _handler_defs(tree):
+            self._check_handler(func, desc, module_names)
+
+    def _check_handler(
+        self, func: ast.AST, desc: str, module_names: Set[str]
+    ) -> None:
+        params: Set[str] = set()
+        args = func.args  # type: ignore[attr-defined]
+        for a in (
+            list(args.posonlyargs) + list(args.args)
+            + list(args.kwonlyargs)
+        ):
+            params.add(a.arg)
+        # only the body: decorators/defaults run at import time, not
+        # per message, so a decorator's .register() call is not a hit
+        def walk_body():
+            for stmt in func.body:  # type: ignore[attr-defined]
+                yield stmt
+                yield from walk_scoped(stmt)
+
+        local: Set[str] = set(params)
+        for node in walk_body():
+            if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store):
+                local.add(node.id)
+
+        def base_is_module(expr: ast.AST) -> bool:
+            while isinstance(expr, (ast.Attribute, ast.Subscript)):
+                expr = expr.value
+            return (
+                isinstance(expr, ast.Name)
+                and expr.id in module_names
+                and expr.id not in local
+            )
+
+        for node in walk_body():
+            if isinstance(node, ast.Global):
+                self.ctx.report(
+                    self.rule, node,
+                    f"{desc} declares global {', '.join(node.names)}: "
+                    f"handlers must not rebind module state (shards "
+                    f"would each rebind their own copy)",
+                )
+            elif isinstance(node, (ast.Attribute, ast.Subscript)) and \
+                    isinstance(node.ctx, (ast.Store, ast.Del)) and \
+                    base_is_module(node):
+                self.ctx.report(
+                    self.rule, node,
+                    f"{desc} mutates module-level state: per-shard "
+                    f"processes would diverge from the serial engine; "
+                    f"keep handler state on the endpoint object",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATORS
+                and base_is_module(node.func.value)
+            ):
+                self.ctx.report(
+                    self.rule, node,
+                    f"{desc} calls .{node.func.attr}() on module-level "
+                    f"state: per-shard processes would diverge from "
+                    f"the serial engine; keep handler state on the "
+                    f"endpoint object",
+                )
+
+
+@register_rule(
+    "DET006",
+    "handler-global-mutation",
+    "dispatch handlers must not mutate module-level state (shard "
+    "processes would diverge from the serial engine)",
+    frozenset({classify.PROTOCOL}),
+)
+def make_shardsafety_visitor(rule: Rule, ctx: FileContext) -> ast.NodeVisitor:
+    return ShardSafetyVisitor(rule, ctx)

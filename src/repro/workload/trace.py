@@ -39,7 +39,9 @@ class QueryTrace:
     def __init__(
         self, events: Optional[List[Tuple[float, int, int]]] = None
     ) -> None:
-        self.events: List[Tuple[float, int, int]] = events or []
+        self.events: List[Tuple[float, int, int]] = (
+            events if events is not None else []
+        )
 
     def __len__(self) -> int:
         return len(self.events)

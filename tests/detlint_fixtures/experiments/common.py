@@ -1,0 +1,15 @@
+"""DET005 negative: this path IS the sanctioned configuration funnel.
+
+Classified ``chokepoint`` (experiments/common.py relative to the
+fixture root), where the env-read rule does not apply at all.
+"""
+
+import os
+
+
+def get_scale():
+    return os.environ.get("REPRO_SCALE", "tiny")
+
+
+def get_workers():
+    return int(os.getenv("REPRO_WORKERS", "0"))

@@ -1,0 +1,34 @@
+"""DET003 positives: late-binding loop captures (the PR 7 bug class)."""
+
+
+def merge_streams(logs):
+    # the PR 7 stats-merge bug, verbatim shape: the genexp is built per
+    # shard but drained after the loop, so every stream reads the final
+    # shard_id
+    streams = []
+    for shard_id, log in enumerate(logs):
+        streams.append(
+            (rec[0], shard_id, idx, rec)  # DET003: shard_id, idx late
+            for idx, rec in enumerate(log)
+        )
+    return streams
+
+
+def make_callbacks(peers):
+    callbacks = []
+    for peer in peers:
+        callbacks.append(lambda msg: peer.deliver(msg))  # DET003: peer
+    return callbacks
+
+
+def make_handlers(targets):
+    handlers = []
+    for t in targets:
+        def handler(msg):
+            return t.on_message(msg)  # DET003: nested def reads t late
+        handlers.append(handler)
+    return handlers
+
+
+def comprehension_capture(shards):
+    return [lambda: shard.flush() for shard in shards]  # DET003: shard

@@ -1,0 +1,46 @@
+"""DET003 negatives: frozen defaults, factories, eager consumption."""
+
+import heapq
+
+
+def merge_streams_fixed(logs):
+    # the PR 7 fix: a factory function re-binds shard_id/log per call
+    def keyed(shard_id, log):
+        return ((rec[0], shard_id, idx, rec)
+                for idx, rec in enumerate(log))
+
+    streams = [keyed(shard_id, log) for shard_id, log in enumerate(logs)]
+    return heapq.merge(*streams)
+
+
+def make_callbacks(peers):
+    callbacks = []
+    for peer in peers:
+        # default-argument freezing: _p binds eagerly, per iteration
+        callbacks.append(lambda msg, _p=peer: _p.deliver(msg))
+    return callbacks
+
+
+def bind_handlers(handlers, target):
+    bound = {}
+    for msg_type, handler in handlers.items():
+        def _call(msg, _h=handler, _t=target):  # defaults freeze both
+            _h(_t, msg)
+        bound[msg_type] = _call
+    return bound
+
+
+def eager_totals(bins):
+    totals = []
+    for scale in bins:
+        # list(...) consumes the genexp before scale advances
+        totals.append(list(scale * w for w in bins[scale]))
+    return totals
+
+
+def sorted_keys(groups):
+    out = []
+    for prefix in groups:
+        # sorted(..., key=lambda ...) runs the lambda eagerly
+        out.append(sorted(groups[prefix], key=lambda s: (len(s), s)))
+    return out

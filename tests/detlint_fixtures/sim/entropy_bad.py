@@ -1,0 +1,35 @@
+"""DET001 positives: ambient entropy and wall clocks in protocol code."""
+
+import random
+import time
+import uuid
+from datetime import datetime
+from random import randrange
+
+
+def pick_server(servers):
+    return servers[random.randrange(len(servers))]  # DET001: module-level
+
+
+def jitter():
+    return random.random()  # DET001: module-level random
+
+
+def pick_direct(servers):
+    return servers[randrange(len(servers))]  # DET001: from-import alias
+
+
+def fresh_rng():
+    return random.Random()  # DET001: unseeded Random()
+
+
+def stamp():
+    return time.time()  # DET001: wall clock
+
+
+def stamp_iso():
+    return datetime.now().isoformat()  # DET001: wall clock
+
+
+def query_id():
+    return uuid.uuid4().hex  # DET001: OS entropy

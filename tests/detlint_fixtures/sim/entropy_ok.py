@@ -1,0 +1,20 @@
+"""DET001 negatives: seeded streams and the engine clock are fine."""
+
+import random
+import time
+
+
+def pick_server(servers, rng: random.Random):
+    return servers[rng.randrange(len(servers))]  # seeded stream instance
+
+
+def derive_stream(seed: int):
+    return random.Random(seed)  # explicitly seeded
+
+
+def wall_profile():
+    return time.perf_counter()  # profiling clock, not simulation time
+
+
+def sim_timestamp(engine):
+    return engine.now  # the engine clock

@@ -1,0 +1,30 @@
+"""DET005 positives: environment reads outside the choke points."""
+
+import os
+from os import getenv
+
+
+def resolve_workers():
+    return int(os.environ.get("REPRO_WORKERS", "0"))  # DET005: .get
+
+
+def resolve_scale():
+    return os.environ["REPRO_SCALE"]  # DET005: subscript read
+
+
+def resolve_backend():
+    return getenv("REPRO_SHARD_BACKEND")  # DET005: os.getenv
+
+def debug_enabled():
+    return "REPRO_DEBUG" in os.environ  # DET005: containment test
+
+
+def dump_env():
+    out = {}
+    for key in os.environ:  # DET005: iteration
+        out[key] = "set"
+    return out
+
+
+def export_workers(n):
+    os.environ["REPRO_WORKERS"] = str(n)  # a write: NOT flagged

@@ -1,0 +1,27 @@
+"""DET004 positives: unordered iteration feeding order-sensitive sinks."""
+
+
+def visit_members(names):
+    out = []
+    for name in {n.lower() for n in names}:  # DET004: set comprehension
+        out.append(name)
+    return out
+
+
+def visit_literal():
+    total = 0.0
+    for weight in {0.25, 0.5, 1.0}:  # DET004: set literal iteration
+        total += weight
+    return total
+
+
+def dedup_scan(servers):
+    return [s for s in set(servers)]  # DET004: set() in comprehension
+
+
+def total_weight(weights):
+    return sum(weights.values())  # DET004: float sum over .values()
+
+
+def mean_latency(samples):
+    return sum(s * 1.0 for s in set(samples))  # DET004: floats from set

@@ -1,0 +1,31 @@
+"""DET004 negatives: sorted wrappers, int sums, plain dict loops."""
+
+
+def visit_members(names):
+    out = []
+    for name in sorted({n.lower() for n in names}):  # sorted(...) wraps
+        out.append(name)
+    return out
+
+
+def total_weight(weights):
+    return sum(sorted(weights.values()))  # deterministic accumulation
+
+
+def total_entries(maps):
+    return sum(len(v) for v in maps.values())  # int elements commute
+
+
+def count_hot(weights):
+    return sum(int(w > 1.0) for w in weights.values())  # int elements
+
+
+def drain(buckets):
+    out = []
+    for key, bucket in buckets.items():  # plain dict iteration: ordered
+        out.extend(bucket)
+    return out
+
+
+def spread(samples):
+    return max(samples) - min(samples)  # order-independent extrema

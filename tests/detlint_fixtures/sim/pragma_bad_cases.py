@@ -1,0 +1,20 @@
+"""Defective pragmas: every one must surface as DET000 bad-pragma."""
+
+import random
+
+
+def unknown_rule(servers):
+    return servers[random.randrange(len(servers))]  # det: ok(no-such-rule) -- typo'd rule name
+
+
+def missing_why(servers):
+    return servers[random.randrange(len(servers))]  # det: ok(wall-clock-entropy)
+
+
+def unparseable(servers):
+    return servers[random.randrange(len(servers))]  # det: allow wall-clock-entropy
+
+
+def stale_waiver(servers):
+    # det: ok(wall-clock-entropy) -- suppresses nothing: next line is clean
+    return sorted(servers)

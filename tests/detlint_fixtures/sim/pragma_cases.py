@@ -1,0 +1,20 @@
+"""Pragma behavior fixtures: valid waiver, multi-line justification.
+
+``pragma_bad_cases.py`` carries the defective ones (they must fail).
+"""
+
+import random
+
+
+def waived_inline(servers):
+    return servers[random.randrange(len(servers))]  # det: ok(wall-clock-entropy) -- fixture: justified inline waiver
+
+
+def waived_standalone(weights):
+    # det: ok(unordered-iteration) -- fixture: integer counters only;
+    # addition commutes exactly, any order gives the same total
+    return sum(weights.values())
+
+
+def waived_by_id(servers):
+    return servers[random.randrange(len(servers))]  # det: ok(DET001) -- fixture: waiver by rule id

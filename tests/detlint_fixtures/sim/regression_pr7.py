@@ -1,0 +1,34 @@
+"""The two PR 7 bugs, verbatim shapes, as lint regression fixtures.
+
+Both were found by hand during the sharded-engine work (see DESIGN.md
+section 12); the linter exists so the next instance is found by CI.
+"""
+
+import heapq
+
+
+def replay_stats_buggy(logs):
+    # Bug 1 (DET003): the keying generator expression was built inside
+    # the per-shard loop but drained by heapq.merge after it, so every
+    # stream read shard_id at its final value -- all records stamped
+    # with the last shard, breaking the canonical (time, shard, index)
+    # merge order.
+    streams = []
+    for shard_id, log in enumerate(logs):
+        streams.append(
+            (rec[0], shard_id, idx, rec)
+            for idx, rec in enumerate(log)
+        )
+    return heapq.merge(*streams)
+
+
+def build_system_buggy(cfg, engine=None):
+    # Bug 2 (DET002): Engine defines __len__, so a fresh (empty) engine
+    # passed by the caller is falsy -- the 'or' fabricates a second
+    # engine and the caller's handle never sees any scheduled events.
+    engine = engine or make_engine()
+    return engine
+
+
+def make_engine():
+    return object()

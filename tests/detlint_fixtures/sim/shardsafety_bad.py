@@ -1,0 +1,43 @@
+"""DET006 positives: dispatch handlers touching module-level state."""
+
+from repro.net.dispatch import DispatchRegistry
+
+REGISTRY = DispatchRegistry("fixture")
+SEEN_QUERIES = []
+COUNTERS = {}
+TOTAL = 0
+
+
+class QueryMessage:
+    pass
+
+
+class ProbeMessage:
+    pass
+
+
+class AdvertMessage:
+    pass
+
+
+REGISTRY.register(QueryMessage, "_on_query")
+
+
+def _on_query(target, msg):
+    SEEN_QUERIES.append(msg)  # DET006: mutating method on module list
+    target.note(msg)
+
+
+def on_probe(target, msg):
+    COUNTERS["probes"] = COUNTERS.get("probes", 0) + 1  # DET006: store
+    target.note(msg)
+
+
+REGISTRY.register(ProbeMessage, on_probe)
+
+
+@REGISTRY.register(AdvertMessage)
+def on_advert(target, msg):
+    global TOTAL  # DET006: global declaration in a handler
+    TOTAL += 1
+    target.note(msg)

@@ -1,0 +1,46 @@
+"""DET006 negatives: handlers keep state on the endpoint object."""
+
+from repro.net.dispatch import DispatchRegistry
+
+REGISTRY = DispatchRegistry("fixture")
+
+#: read-only module constant: reads are fine, only mutation is flagged
+DEFAULT_TTL = 30.0
+
+
+class QueryMessage:
+    pass
+
+
+class ProbeMessage:
+    pass
+
+
+REGISTRY.register(QueryMessage, "_on_query")
+
+
+def _on_query(target, msg):
+    target.seen.append(msg)  # endpoint state, not module state
+    target.n_queries += 1
+    ttl = DEFAULT_TTL  # module read: allowed
+    local = []
+    local.append(ttl)  # local binding shadows nothing
+    return local
+
+
+def on_probe(target, msg):
+    counters = target.counters
+    counters["probes"] = counters.get("probes", 0) + 1  # via endpoint
+    target.note(msg)
+
+
+REGISTRY.register(ProbeMessage, on_probe)
+
+
+def not_a_handler(payload):
+    # unregistered helper: module mutation is DET006-exempt here
+    # (module import side effects are covered by review, not this rule)
+    _SCRATCH.append(payload)
+
+
+_SCRATCH = []

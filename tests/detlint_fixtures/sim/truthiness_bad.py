@@ -1,0 +1,41 @@
+"""DET002 positives: boolean presence tests on sized objects.
+
+Annotations are unquoted on purpose: the rule reads annotation names
+from the AST, and a quoted forward reference is a string constant.
+These files are AST input only, never imported.
+"""
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+from repro.sim.stats import SystemStats
+from repro.namespace.tree import Namespace
+
+
+def build_system(engine=None):
+    engine = engine or make_engine()  # DET002: drops an empty Engine
+    return engine
+
+
+def merge(entry=None):
+    entry = entry or []  # DET002: mutable fallback, identity-divergent
+    return entry
+
+
+def run(engine: Optional[Engine]):
+    if engine:  # DET002: empty engine is falsy but present
+        engine.run()
+
+
+def drain(stats: SystemStats):
+    assert stats  # DET002: assert-truthiness on a sized type
+    while stats:  # DET002: while-truthiness
+        stats.pop()
+
+
+def label(ns: Namespace):
+    return "full" if ns else "empty"  # DET002: conditional expression
+
+
+def make_engine():
+    return Engine()

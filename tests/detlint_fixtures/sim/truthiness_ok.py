@@ -1,0 +1,45 @@
+"""DET002 negatives: explicit None tests and non-sized fallbacks."""
+
+from typing import Optional
+
+from repro.sim.engine import Engine
+
+
+def build_system(engine=None):
+    if engine is None:
+        engine = make_engine()  # explicit absence test
+    return engine
+
+
+def merge(entry=None):
+    entry = entry if entry is not None else []  # explicit, not 'or'
+    return entry
+
+
+def run(engine: Optional[Engine]):
+    if engine is None:
+        return
+    engine.run()
+
+
+def size(engine: Engine):
+    if len(engine):  # explicit emptiness test on a sized type
+        return len(engine)
+    return 0
+
+
+def advertised(extra=None):
+    return extra or ()  # immutable empty tuple: content-equivalent
+
+
+def pick(flag, scale=None):
+    # 'or' on a non-sized config object is not flagged
+    return scale or default_scale()
+
+
+def default_scale():
+    return object()
+
+
+def make_engine():
+    return Engine()

@@ -79,7 +79,7 @@ class TestNodeMap:
 
     def test_add_preferred_evicts_when_full(self):
         m = NodeMap(node=1, rmap=2, servers=[10, 11])
-        m.add_preferred(12)
+        m.add_preferred(12, random.Random(0))
         assert 12 in m
         assert len(m) == 2
 

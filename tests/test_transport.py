@@ -187,7 +187,7 @@ class TestJitter:
             tr.send(0, "x")
         eng.run()
         assert min(times) >= 0.02
-        assert len(set(round(t, 9) for t in times)) > 100
+        assert len({round(t, 9) for t in times}) > 100
         mean_extra = sum(times) / len(times) - 0.02
         assert mean_extra == pytest.approx(0.01, rel=0.4)
 

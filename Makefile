@@ -13,6 +13,7 @@
 #   make bench-micro  hot-path events/sec vs the committed BENCH_micro.json
 #   make mem          build both 10^6-node namespaces under the 2 GB RSS budget
 #   make shard-check  sharded engine fingerprints bit-identical to serial
+#   make serve-smoke  live 5-peer UDS cluster + AIMD client (capacity.json)
 #   make det-lint     determinism/shard-safety AST lint (python -m repro lint)
 #   make typecheck    mypy strict gate over sim/, net/, core/, tools/
 
@@ -52,6 +53,10 @@ mem:
 shard-check:
 	$(PYTHON) -m repro shard-check --shards 1,2,4
 
+serve-smoke:
+	$(PYTHON) -m repro serve --servers 5 --duration 10 \
+		--drive adaptive --out capacity.json
+
 det-lint:
 	PYTHONPATH=src $(PYTHON) -m repro lint src
 
@@ -64,4 +69,4 @@ outputs:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
-.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem shard-check det-lint typecheck
+.PHONY: install lint test bench experiments campaign figures outputs profile bench-micro mem shard-check serve-smoke det-lint typecheck

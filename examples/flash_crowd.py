@@ -17,7 +17,7 @@ from repro import (
     build_system,
 )
 from repro.experiments.report import sparkline
-from repro.workload.streams import StreamSegment, WorkloadSpec
+from repro.workload.streams import flash_crowd_stream
 
 
 def run(replication: bool):
@@ -30,15 +30,11 @@ def run(replication: bool):
         cfg = SystemConfig.caching(n_servers=32, seed=3, cache_slots=12)
     system = build_system(ns, cfg)
     rate = 0.4 * cfg.n_servers / (0.005 * 3.5)
-    spec = WorkloadSpec(
-        rate=rate,
-        segments=(
-            StreamSegment(8.0, alpha=0.0),                  # normal traffic
-            StreamSegment(12.0, alpha=1.5, reshuffle=True),  # flash crowd!
-        ),
-        seed=99,
-        name="flash-crowd",
-    )
+    # 8 s of normal traffic, then the announcement hits (alpha=1.5 over
+    # a fresh random ranking); surge=1.0 keeps offered load flat so the
+    # comparison isolates the *concentration* effect
+    spec = flash_crowd_stream(rate, normal=8.0, crowd=12.0, alpha=1.5,
+                              seed=99)
     WorkloadDriver(system, spec).run()
     return system, spec
 

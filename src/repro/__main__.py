@@ -16,7 +16,11 @@
   windowed runs are bit-identical to the serial engine
   (see :mod:`repro.sim.shard`);
 * ``python -m repro lint [paths] [--format json]`` -- determinism &
-  shard-safety static analysis (see :mod:`repro.tools.detlint`).
+  shard-safety static analysis (see :mod:`repro.tools.detlint`);
+* ``python -m repro serve [--servers N] [--transport uds|tcp]
+  [--drive adaptive]`` -- host a live cluster over real sockets and
+  (optionally) discover its capacity with the closed-loop AIMD client
+  (see :mod:`repro.runtime.async_serve`).
 """
 
 import sys
@@ -47,6 +51,10 @@ def main(argv) -> int:
         from repro.tools.detlint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.runtime.async_serve import main as serve_main
+
+        return serve_main(argv[1:])
     from repro.experiments.runner import main as runner_main
 
     runner_main(argv)

@@ -52,10 +52,11 @@ class TerraDirClient:
         self.retrieve_attempts = retrieve_attempts
         self.lookup_retries = lookup_retries
         # hot-path plumbing, bound once: the per-lookup timeout goes
-        # through the timer-wheel (cancel-heavy; keeps the engine heap
-        # free of dead timeout entries), and sink hooks are cached so
-        # each recording is one call, not an attribute chain
-        self._timers = system.timers
+        # through the runtime's cancel-cheap timer path (under the
+        # simulator, the timer-wheel -- keeps the engine heap free of
+        # dead timeout entries), and sink hooks are cached so each
+        # recording is one call, not an attribute chain
+        self._rt = system.runtime
         self._record_lookup = system.stats.record_client_lookup
         self._record_timeout = system.stats.record_client_timeout
         self._record_retry = system.stats.record_client_retry
@@ -88,9 +89,9 @@ class TerraDirClient:
         queue drops and failures.
         """
         self.n_lookups += 1
-        self._record_lookup(self.system.engine.now)
+        self._record_lookup(self._rt.now)
         qid = self.system.inject(self.home.sid, node)
-        timeout = self._timers.schedule_after(
+        timeout = self._rt.timer_after(
             self.lookup_timeout, self._on_lookup_timeout,
             qid, node, future, retries_left,
         )
@@ -103,7 +104,7 @@ class TerraDirClient:
                     name=self.system.ns.name_of(resp.dest),
                     servers=list(resp.dest_map),
                     meta_version=resp.meta_version,
-                    latency=self.system.engine.now - resp.created_at,
+                    latency=self._rt.now - resp.created_at,
                     hops=resp.hops,
                 )
             )
@@ -114,10 +115,10 @@ class TerraDirClient:
                            retries_left: int) -> None:
         self.home.client_hooks.pop(("lookup", qid), None)
         self.n_timeouts += 1
-        self._record_timeout(self.system.engine.now)
+        self._record_timeout(self._rt.now)
         if retries_left > 0:
             self.n_retries += 1
-            self._record_retry(self.system.engine.now)
+            self._record_retry(self._rt.now)
             self._issue_lookup(node, future, retries_left - 1)
             return
         future.fail("lookup timed out (query dropped or still queued)")
@@ -211,7 +212,7 @@ class TerraDirClient:
             )
 
         self.home.client_hooks[("data", rid)] = on_reply
-        self.system.transport.send(target, req)
+        self._rt.send(target, req)
 
     # ------------------------------------------------------------------
     # hierarchical search

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.cluster.config import SystemConfig
 from repro.namespace.tree import Namespace
 from repro.net.transport import ShardTransport, Transport, shard_sids
+from repro.runtime.sim_runtime import SimRuntime
 from repro.sim.engine import Engine, ShardError
 from repro.sim.rng import RngStreams
 from repro.sim.stats import StatsSink, SystemStats
@@ -38,6 +39,7 @@ class System:
         "engine",
         "transport",
         "timers",
+        "runtime",
         "stats",
         "rng_streams",
         "peers",
@@ -61,6 +63,10 @@ class System:
         self.transport = self._build_transport(engine, cfg)
         # cancel-heavy timers (client lookup timeouts) stay off the heap
         self.timers = TimerWheel(engine)
+        # the seam protocol components schedule and send through; its
+        # methods *are* the engine/transport/wheel bound methods, so
+        # nothing observable changes versus the old direct reach-through
+        self.runtime = SimRuntime(engine, self.transport, self.timers)
         self.stats = stats if stats is not None else SystemStats(ns.max_depth)
         self.rng_streams = RngStreams(cfg.seed)
         self.peers: List = []

@@ -56,7 +56,7 @@ class _Session:
         self.tried: Set[int] = set()
         self.target = -1
         self.awaiting = ""  # "probe_reply" | "ack"
-        self.timer = None  # engine handle for the liveness timeout
+        self.timer = None  # runtime cancel handle for the liveness timeout
 
 
 class ReplicationManager:
@@ -168,7 +168,7 @@ class ReplicationManager:
         the partner failed) must not leave the session dangling."""
         if session.timer is not None:
             session.timer.cancel()
-        session.timer = self.peer.sys.engine.schedule_after(
+        session.timer = self.peer.rt.schedule_after(
             self.cfg.session_timeout, self._on_session_timeout, session.sid,
             handle=True,
         )
@@ -176,7 +176,7 @@ class ReplicationManager:
     def _on_session_timeout(self, session_id: int) -> None:
         session = self._session
         if session is not None and session.sid == session_id:
-            self._abort(self.peer.sys.engine.now)
+            self._abort(self.peer.rt.now)
 
     def _abort(self, now: float) -> None:
         if self._session is not None:

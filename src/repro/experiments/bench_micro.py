@@ -33,6 +33,11 @@ dispatches and wall time are reported alongside for transparency.
   replay -- not multiprocessing).  Gates the sharded run loop: its
   single-core cost must stay close enough to serial that the
   process backend's multi-core scaling nets out ahead.
+* ``serve_loopback`` -- live mode end to end: a 4-peer UDS cluster in
+  this process, a fixed batch of pipelined client lookups, rate in
+  completed lookups per wall second.  Gates the asyncio runtime, the
+  frame codec, and the wire (``repro.runtime``) the way the scenarios
+  above gate the simulator.
 
 The composite ``headline`` is the geometric mean of the scenario rates.
 
@@ -253,6 +258,74 @@ def bench_shard_window() -> Dict[str, float]:
             "mem_bytes": deep_sizeof(run)}
 
 
+def bench_serve_loopback() -> Dict[str, float]:
+    """Live-mode loopback: lookups through the full asyncio stack.
+
+    A 4-peer UDS cluster hosted in-process, driven with a fixed batch
+    of pipelined client lookups.  The rate is *completed lookups per
+    wall second* end to end -- framing, restricted decode, socket
+    round-trips, the peer pipeline, and the reply path -- so codec or
+    wire regressions show up here and nowhere else.  Service means are
+    tiny: the measurement targets the stack, not simulated queueing.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.runtime.async_client import HomeConnection
+    from repro.runtime.async_runtime import AsyncRuntime
+    from repro.runtime.async_service import LiveService, build_live_system
+    from repro.runtime.async_wire import AsyncWire, uds_addresses
+
+    n_servers, n_lookups, pipeline_depth = 4, 600, 32
+    ns = balanced_tree(levels=8)
+    # deep queues: the fixed batch must complete without sheds so the
+    # rate always divides the same work count
+    cfg = SystemConfig.replicated(
+        n_servers=n_servers, seed=9, cache_slots=16, service_mean=1e-4,
+        queue_size=256,
+    )
+    rng = random.Random(21)
+    dests = [rng.randrange(1, len(ns)) for _ in range(n_lookups)]
+    holder: Dict[str, object] = {}
+
+    async def drive() -> float:
+        loop = asyncio.get_running_loop()
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as sock_dir:
+            addresses = uds_addresses(sock_dir, n_servers)
+            rt = AsyncRuntime(loop)
+            wire = AsyncWire(loop, addresses)
+            system = build_live_system(ns, cfg, rt, wire)
+            holder["system"] = system
+            LiveService(system).attach(wire)
+            await wire.start_listeners()
+            conns = []
+            for sid in range(n_servers):
+                conn = HomeConnection(loop, addresses[sid])
+                await conn.connect()
+                conns.append(conn)
+            sem = asyncio.Semaphore(pipeline_depth)
+
+            async def one(i: int) -> None:
+                async with sem:
+                    reply = await conns[i % n_servers].lookup(
+                        dests[i], timeout=10.0
+                    )
+                    assert reply is not None and reply.ok
+
+            t0 = time.perf_counter()
+            await asyncio.gather(*(one(i) for i in range(n_lookups)))
+            wall = time.perf_counter() - t0
+            for conn in conns:
+                await conn.close()
+            await wire.close()
+            return wall
+
+    wall = asyncio.run(drive())
+    return {"events": n_lookups, "engine_events": 0,
+            "wall_s": wall, "events_per_sec": n_lookups / wall,
+            "mem_bytes": deep_sizeof(holder["system"])}
+
+
 SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "transport_chain": bench_transport_chain,
     "end_to_end": bench_end_to_end,
@@ -260,6 +333,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, float]]] = {
     "routing_decide_small": bench_routing_decide_small,
     "routing_decide_large": bench_routing_decide_large,
     "shard_window": bench_shard_window,
+    "serve_loopback": bench_serve_loopback,
 }
 
 

@@ -1,0 +1,198 @@
+"""Framed wire serialization for live-mode transport.
+
+The simulator passes message objects by reference; live mode
+(:mod:`repro.runtime.async_wire`) moves the *same* message classes
+across TCP/UDS sockets.  This module is the codec both ends share:
+
+* **Framing** -- each message is one length-prefixed frame: a 4-byte
+  big-endian payload length followed by the payload.  A stream is any
+  concatenation of frames; :class:`FrameReader` reassembles frames
+  from arbitrarily fragmented reads (sockets deliver whatever they
+  feel like), buffering partial headers and partial payloads.
+* **Payload codec** -- pickle (protocol 4) restricted to the closed
+  set of wire types in :data:`WIRE_TYPES`.  Pickle keeps perfect
+  fidelity for the message structs' mixed tuples/lists/sets/dicts
+  (``QueryMessage.path`` is a list of tuples, digest snapshots are
+  tuples, ``NodeMeta.keywords`` is a set) -- a JSON mapping would
+  silently rewrite tuples to lists and diverge from the simulator.
+  Decoding refuses any global outside the allowlist, so a frame can
+  only ever instantiate message structs: a malicious or corrupt peer
+  cannot reach arbitrary constructors through the unpickler.
+
+Both directions are pure functions of their input bytes/objects; no
+clocks, RNG, or I/O live here (the module stays protocol-classified
+under the determinism lint).
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.namespace.meta import NodeMeta
+from repro.net.message import (
+    Advertisement,
+    AdvertMessage,
+    ClientLookup,
+    ClientLookupReply,
+    DataReply,
+    DataRequest,
+    ProbeMessage,
+    ProbeReplyMessage,
+    QueryMessage,
+    ReplicaPayload,
+    ResponseMessage,
+    TransferAckMessage,
+    TransferMessage,
+)
+
+__all__ = [
+    "FrameError",
+    "FrameReader",
+    "MAX_FRAME",
+    "WIRE_TYPES",
+    "decode_message",
+    "encode_frame",
+    "encode_message",
+    "register_wire_type",
+]
+
+#: frame header: payload length, 4 bytes big-endian
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+#: hard per-frame payload cap (16 MiB); a header exceeding it means a
+#: corrupt or hostile stream, not a large message
+MAX_FRAME = 1 << 24
+
+
+class FrameError(ValueError):
+    """Malformed frame, oversized frame, or disallowed payload type."""
+
+
+#: every message class that may cross the wire (peer plane + client
+#: plane + the payload structs they embed)
+WIRE_TYPES: Tuple[Type[Any], ...] = (
+    Advertisement,
+    AdvertMessage,
+    ClientLookup,
+    ClientLookupReply,
+    DataReply,
+    DataRequest,
+    NodeMeta,
+    ProbeMessage,
+    ProbeReplyMessage,
+    QueryMessage,
+    ReplicaPayload,
+    ResponseMessage,
+    TransferAckMessage,
+    TransferMessage,
+)
+
+_ALLOWED: Dict[Tuple[str, str], Type[Any]] = {
+    (cls.__module__, cls.__name__): cls for cls in WIRE_TYPES
+}
+_ENCODABLE = set(WIRE_TYPES)
+
+
+def register_wire_type(cls: Type[Any]) -> Type[Any]:
+    """Admit an additional message class to the wire (tests, extensions).
+
+    Usable as a class decorator; returns ``cls`` unchanged.
+    """
+    _ALLOWED[(cls.__module__, cls.__name__)] = cls
+    _ENCODABLE.add(cls)
+    return cls
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler whose global lookup is the wire-type allowlist."""
+
+    def find_class(self, module: str, name: str) -> Any:
+        cls = _ALLOWED.get((module, name))
+        if cls is None:
+            raise FrameError(
+                f"frame references disallowed global {module}.{name}; "
+                f"only registered wire types may cross the wire"
+            )
+        return cls
+
+
+def encode_message(msg: Any) -> bytes:
+    """Serialize one wire message to payload bytes."""
+    if type(msg) not in _ENCODABLE:
+        raise FrameError(
+            f"{type(msg).__name__} is not a registered wire type"
+        )
+    return pickle.dumps(msg, protocol=4)
+
+
+def decode_message(payload: bytes) -> Any:
+    """Deserialize payload bytes produced by :func:`encode_message`."""
+    try:
+        return _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except FrameError:
+        raise
+    except Exception as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+
+
+def encode_frame(msg: Any) -> bytes:
+    """One complete frame (header + payload) for ``msg``."""
+    payload = encode_message(msg)
+    if len(payload) > MAX_FRAME:
+        raise FrameError(
+            f"frame payload {len(payload)} bytes exceeds MAX_FRAME "
+            f"({MAX_FRAME})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameReader:
+    """Incremental frame reassembly over a fragmented byte stream.
+
+    Feed it whatever the socket produced -- half a header, three and a
+    half frames, one byte -- and it returns each *payload* exactly once,
+    in stream order, as soon as it completes.
+    """
+
+    __slots__ = ("_buf", "max_frame", "n_frames")
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self._buf = bytearray()
+        self.max_frame = max_frame
+        self.n_frames = 0
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb ``data``; return every payload completed by it."""
+        buf = self._buf
+        buf.extend(data)
+        out: List[bytes] = []
+        offset = 0
+        while True:
+            if len(buf) - offset < HEADER_SIZE:
+                break
+            (length,) = _HEADER.unpack_from(buf, offset)
+            if length > self.max_frame:
+                raise FrameError(
+                    f"frame header announces {length} bytes "
+                    f"(max {self.max_frame}); stream is corrupt"
+                )
+            end = offset + HEADER_SIZE + length
+            if len(buf) < end:
+                break
+            out.append(bytes(buf[offset + HEADER_SIZE:end]))
+            self.n_frames += 1
+            offset = end
+        if offset:
+            del buf[:offset]
+        return out
+
+    def pending(self) -> int:
+        """Bytes buffered awaiting frame completion."""
+        return len(self._buf)
+
+    def __repr__(self) -> str:
+        return f"FrameReader(pending={len(self._buf)}, frames={self.n_frames})"

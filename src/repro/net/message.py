@@ -268,6 +268,64 @@ class DataRequest:
         self.want_meta = want_meta
 
 
+class ClientLookup:
+    """Live-mode client plane: a lookup request sent over a socket.
+
+    In the simulator clients call :meth:`System.inject` directly; a
+    live client instead frames one of these to its home server, which
+    injects the query locally and answers with a
+    :class:`ClientLookupReply` carrying the lookup outcome.  ``cqid``
+    is the *client's* correlation id (per-connection), distinct from
+    the server-minted query id.
+    """
+
+    __slots__ = ("cqid", "node")
+
+    def __init__(self, cqid: int, node: int) -> None:
+        self.cqid = cqid
+        self.node = node
+
+    def __repr__(self) -> str:
+        return f"ClientLookup(cqid={self.cqid}, node={self.node})"
+
+
+class ClientLookupReply:
+    """Live-mode client plane: the home server's answer to a lookup.
+
+    ``ok=False`` means the query was dropped or timed out inside the
+    cluster (the home server gave up after its server-side deadline);
+    the remaining fields mirror the simulator's ``LookupResult``.
+    """
+
+    __slots__ = (
+        "cqid", "node", "ok", "servers", "meta_version", "hops", "latency",
+    )
+
+    def __init__(
+        self,
+        cqid: int,
+        node: int,
+        ok: bool,
+        servers: Optional[List[int]] = None,
+        meta_version: int = 0,
+        hops: int = 0,
+        latency: float = 0.0,
+    ) -> None:
+        self.cqid = cqid
+        self.node = node
+        self.ok = ok
+        self.servers = servers if servers is not None else []
+        self.meta_version = meta_version
+        self.hops = hops
+        self.latency = latency
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientLookupReply(cqid={self.cqid}, node={self.node}, "
+            f"ok={self.ok}, hops={self.hops})"
+        )
+
+
 class DataReply:
     """Answer to a :class:`DataRequest`.
 

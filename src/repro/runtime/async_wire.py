@@ -1,0 +1,258 @@
+"""Framed asyncio transport: the live-mode :class:`Wire`.
+
+One cluster is a set of peer endpoints, each listening on its own
+address -- a unix-domain socket (``("uds", path)``) or a TCP port
+(``("tcp", host, port)``).  Every peer-to-peer message is one frame
+(:mod:`repro.net.frame`) written to the *destination's* listener over
+a lazily opened, cached outbound connection; connections are
+write-only in the peer plane (a response is an independent send to the
+origin's listener, mirroring the simulator's transport, which has no
+notion of a connection at all).
+
+``send`` is synchronous fire-and-forget, exactly like
+``Transport.send``: protocol code never awaits.  When no connection to
+``dest`` exists yet, the frame queues in a per-destination outbox and
+a connector task dials with retries (cluster processes boot in any
+order); once connected the outbox flushes in send order, preserving
+per-destination FIFO -- the same per-link ordering guarantee the
+simulator's delivery ring provides.
+
+Inbound, each listener reassembles frames, decodes, and hands peer
+messages straight to the registered handler (``peer.deliver``);
+client-plane messages (:class:`~repro.net.message.ClientLookup`)
+divert to the ``on_client`` callback with the connection's writer so
+the service can answer on the same socket.
+
+Counter parity with :class:`repro.net.transport.Transport`: ``n_sent``
+/ ``n_control_sent`` / ``n_lost`` have the same meaning, so live and
+simulated runs report through the same introspection surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.frame import (
+    FrameError,
+    FrameReader,
+    decode_message,
+    encode_frame,
+)
+from repro.net.message import ClientLookup
+
+__all__ = ["AsyncWire", "tcp_addresses", "uds_addresses"]
+
+#: ("uds", path) or ("tcp", host, port)
+Address = Tuple[Any, ...]
+
+_READ_CHUNK = 65536
+
+
+def uds_addresses(sock_dir: str, n_servers: int) -> Dict[int, Address]:
+    """One unix-domain socket per server under ``sock_dir``."""
+    return {
+        sid: ("uds", os.path.join(sock_dir, f"peer-{sid}.sock"))
+        for sid in range(n_servers)
+    }
+
+
+def tcp_addresses(
+    host: str, port_base: int, n_servers: int
+) -> Dict[int, Address]:
+    """One TCP port per server: ``port_base + sid`` on ``host``."""
+    return {
+        sid: ("tcp", host, port_base + sid) for sid in range(n_servers)
+    }
+
+
+class AsyncWire:
+    """Live transport over framed UDS/TCP streams."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        addresses: Dict[int, Address],
+        on_client: Optional[Callable[[int, Any, asyncio.StreamWriter], None]] = None,
+        connect_retries: int = 100,
+        connect_backoff: float = 0.05,
+    ) -> None:
+        self.loop = loop
+        self.addresses = dict(addresses)
+        self.on_client = on_client
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self._endpoints: Dict[int, Callable[[Any], None]] = {}
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._outbox: Dict[int, List[bytes]] = {}
+        self._connecting: Set[int] = set()
+        self._servers: List[asyncio.AbstractServer] = []
+        self._tasks: Set["asyncio.Task[Any]"] = set()
+        self._closed = False
+        self.n_sent = 0
+        self.n_control_sent = 0
+        self.n_lost = 0
+        self.n_delivered = 0
+
+    # ------------------------------------------------------------------
+    # registration and listeners
+    # ------------------------------------------------------------------
+
+    def register(self, server_id: int, handler: Callable[[Any], None]) -> None:
+        """Register a locally hosted peer's delivery handler."""
+        if server_id in self._endpoints:
+            raise ValueError(f"server {server_id} already registered")
+        if server_id not in self.addresses:
+            raise ValueError(f"server {server_id} has no wire address")
+        self._endpoints[server_id] = handler
+
+    async def start_listeners(self) -> None:
+        """Bind one listener per locally registered peer."""
+        for sid in sorted(self._endpoints):
+            addr = self.addresses[sid]
+            conn_cb = partial(self._serve_conn, sid)
+            if addr[0] == "uds":
+                path = addr[1]
+                try:
+                    os.unlink(path)  # stale socket from a previous run
+                except OSError:
+                    pass
+                server = await asyncio.start_unix_server(conn_cb, path=path)
+            else:
+                server = await asyncio.start_server(
+                    conn_cb, host=addr[1], port=addr[2]
+                )
+            self._servers.append(server)
+
+    async def _serve_conn(
+        self, sid: int, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Pump one inbound connection into peer ``sid``."""
+        frames = FrameReader()
+        deliver = self._endpoints[sid]
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for payload in frames.feed(data):
+                    msg = decode_message(payload)
+                    self.n_delivered += 1
+                    if type(msg) is ClientLookup:
+                        if self.on_client is not None:
+                            self.on_client(sid, msg, writer)
+                    else:
+                        deliver(msg)
+        except (ConnectionError, FrameError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # outbound
+    # ------------------------------------------------------------------
+
+    def send(self, dest: int, msg: Any, control: bool = False) -> None:
+        """Fire-and-forget framed delivery to ``dest``'s listener."""
+        if control:
+            self.n_control_sent += 1
+        else:
+            self.n_sent += 1
+        if self._closed or dest not in self.addresses:
+            self.n_lost += 1
+            return
+        frame = encode_frame(msg)
+        writer = self._writers.get(dest)
+        if writer is not None and not writer.is_closing():
+            writer.write(frame)
+            return
+        self._outbox.setdefault(dest, []).append(frame)
+        if dest not in self._connecting:
+            self._connecting.add(dest)
+            self._spawn(self._connect(dest))
+
+    def _spawn(self, coro: Any) -> None:
+        task = self.loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _connect(self, dest: int) -> None:
+        """Dial ``dest`` with retries, then flush its outbox in order."""
+        addr = self.addresses[dest]
+        reader: Optional[asyncio.StreamReader] = None
+        writer: Optional[asyncio.StreamWriter] = None
+        for _attempt in range(self.connect_retries):
+            if self._closed:
+                break
+            try:
+                if addr[0] == "uds":
+                    reader, writer = await asyncio.open_unix_connection(addr[1])
+                else:
+                    reader, writer = await asyncio.open_connection(
+                        addr[1], addr[2]
+                    )
+                break
+            except OSError:
+                await asyncio.sleep(self.connect_backoff)
+        self._connecting.discard(dest)
+        if writer is None or reader is None:
+            # peer unreachable: everything queued for it is lost
+            self.n_lost += len(self._outbox.pop(dest, []))
+            return
+        self._writers[dest] = writer
+        for frame in self._outbox.pop(dest, []):
+            writer.write(frame)
+        self._spawn(self._watch_peer(dest, reader, writer))
+
+    async def _watch_peer(
+        self, dest: int, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Outbound connections are write-only; watch for peer close so
+        a later send re-dials instead of writing into a dead socket."""
+        try:
+            while await reader.read(_READ_CHUNK):
+                pass
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        if self._writers.get(dest) is writer:
+            del self._writers[dest]
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        """Stop listeners, close connections, cancel helper tasks."""
+        self._closed = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        self._servers.clear()
+        for writer in list(self._writers.values()):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._writers.clear()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        self._tasks.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyncWire(local={sorted(self._endpoints)}, "
+            f"conns={len(self._writers)}, sent={self.n_sent})"
+        )

@@ -92,6 +92,7 @@ class Peer:
     __slots__ = (
         "sid",
         "sys",
+        "rt",
         "cfg",
         "ns",
         "rng",
@@ -127,6 +128,10 @@ class Peer:
     def __init__(self, sid: int, system, owned: Iterable[int]) -> None:
         self.sid = sid
         self.sys = system
+        # the runtime seam: every clock read, callback, and send below
+        # goes through this handle, so the same peer runs under the
+        # simulator (SimRuntime) or a live event loop (AsyncRuntime)
+        self.rt = system.runtime
         cfg = system.cfg
         self.cfg = cfg
         self.ns = system.ns
@@ -387,7 +392,7 @@ class Peer:
         handler(msg)
 
     def send_control(self, dest: int, msg) -> None:
-        self.sys.transport.send(dest, msg, control=True)
+        self.rt.send(dest, msg, control=True)
 
     # -- dispatch handlers (registered in PEER_DISPATCH) ----------------
 
@@ -398,16 +403,16 @@ class Peer:
         self.router.on_response(msg)
 
     def _on_probe(self, msg: ProbeMessage) -> None:
-        self.repl.on_probe(msg, self.sys.engine.now)
+        self.repl.on_probe(msg, self.rt.now)
 
     def _on_probe_reply(self, msg: ProbeReplyMessage) -> None:
-        self.repl.on_probe_reply(msg, self.sys.engine.now)
+        self.repl.on_probe_reply(msg, self.rt.now)
 
     def _on_transfer(self, msg: TransferMessage) -> None:
-        self.repl.on_transfer(msg, self.sys.engine.now)
+        self.repl.on_transfer(msg, self.rt.now)
 
     def _on_transfer_ack(self, msg: TransferAckMessage) -> None:
-        self.repl.on_ack(msg, self.sys.engine.now)
+        self.repl.on_ack(msg, self.rt.now)
 
     def _on_advert(self, msg: AdvertMessage) -> None:
         self.absorber.absorb_advert(msg.node, msg.servers)
@@ -426,7 +431,7 @@ class Peer:
 
     def inject(self, dest: int, qid: int) -> None:
         """A client initiates a lookup for ``dest`` at this server."""
-        now = self.sys.engine.now
+        now = self.rt.now
         self._record_injected(now)
         msg = QueryMessage(qid, dest, self.sid, now)
         msg.via = -1
@@ -438,20 +443,21 @@ class Peer:
             self._start_service(msg)
             return
         if not ingress.offer(msg):
-            self._record_drop(self.sys.engine.now, reason="queue")
+            self._record_drop(self.rt.now, reason="queue")
 
     def _start_service(self, msg: QueryMessage) -> None:
         self.ingress.in_service = True
-        now = self.sys.engine.now
+        rt = self.rt
+        now = rt.now
         self.meter.service_started(now)
         svc = exponential(self.rng, self.service_mean)
-        self.sys.engine.schedule(now + svc, self._finish_service, msg)
+        rt.schedule(now + svc, self._finish_service, msg)
 
     def _finish_service(self, msg: QueryMessage) -> None:
         ingress = self.ingress
         if self.failed or not ingress.in_service:
             return  # server died mid-service; the request dies with it
-        now = self.sys.engine.now
+        now = self.rt.now
         self.meter.service_finished(now)
         self.n_processed += 1
         self.router.process(msg)

@@ -54,7 +54,7 @@ class RoutingCore:
     def process(self, m: QueryMessage) -> None:
         """One full processing step for a dequeued query."""
         peer = self.peer
-        now = peer.sys.engine.now
+        now = peer.rt.now
         sid = peer.sid
         store = peer.store
 
@@ -126,7 +126,7 @@ class RoutingCore:
             local_map, m.dest_map, peer.cfg.rmap, peer.rng,
             advertised=advertised,
         )
-        peer.sys.transport.send(decision.next_server, m)
+        peer.rt.send(decision.next_server, m)
 
     def resolve(self, m: QueryMessage, now: float) -> None:
         """The query reached a host of its destination: lookup complete."""
@@ -148,7 +148,7 @@ class RoutingCore:
             self.on_response(resp)
         else:
             # responses return directly to the origin, bypassing queues
-            peer.sys.transport.send(m.origin, resp)
+            peer.rt.send(m.origin, resp)
 
     # ------------------------------------------------------------------
     # response and data planes
@@ -156,7 +156,7 @@ class RoutingCore:
 
     def on_response(self, r: ResponseMessage) -> None:
         peer = self.peer
-        now = peer.sys.engine.now
+        now = peer.rt.now
         peer.absorber.absorb_response(r, now)
         latency = now - r.created_at
         self._record_completion(now, latency, r.hops, r.stale_hops)
@@ -183,7 +183,7 @@ class RoutingCore:
                 s for s in (entry if entry is not None else ())
                 if s != peer.sid
             ]
-        peer.sys.transport.send(req.origin, reply)
+        peer.rt.send(req.origin, reply)
 
     def __repr__(self) -> str:
         return f"RoutingCore(peer={self.peer.sid})"

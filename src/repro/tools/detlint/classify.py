@@ -6,11 +6,18 @@ Rules are scoped by *category*, not per-file configuration:
   draw-for-draw across serial, sharded, and cached execution.  This is
   every package whose state feeds fingerprints: ``sim/``, ``core/``,
   ``server/``, ``net/``, ``cluster/``, ``namespace/``, ``filters/``,
-  ``workload/``.
+  ``workload/``, ``runtime/``.
 * ``chokepoint`` -- the two sanctioned configuration funnels
   (``experiments/common.py``, ``experiments/parallel.py``).  Only these
   may read ``os.environ``; everything else takes configuration as
   arguments so a run's inputs are visible in its RunSpec fingerprint.
+
+There is one *rule-scoped* carve-out rather than a category of its
+own: ``runtime/async_*`` is the sanctioned wall-clock funnel (live
+mode genuinely runs on the event-loop clock), so DET001 skips exactly
+those files -- see :func:`is_wallclock_chokepoint` -- while every
+other protocol rule still applies to them, and the simulation side of
+``runtime/`` keeps the full contract.
 * ``experiments`` -- campaign/figure glue: cross-run orchestration that
   never executes inside an engine window.
 * ``tools`` -- this linter and friends; exempt from protocol rules.
@@ -37,13 +44,30 @@ ALL_CATEGORIES = frozenset({PROTOCOL, CHOKEPOINT, EXPERIMENTS, TOOLS, OTHER})
 
 PROTOCOL_DIRS = frozenset(
     {"sim", "core", "server", "net", "cluster", "namespace",
-     "filters", "workload"}
+     "filters", "workload", "runtime"}
 )
 
 #: the only files allowed to read ``os.environ``
 ENV_CHOKEPOINTS = frozenset(
     {("experiments", "common.py"), ("experiments", "parallel.py")}
 )
+
+
+def is_wallclock_chokepoint(relpath: str) -> bool:
+    """True for the sanctioned live-runtime wall-clock funnel.
+
+    ``runtime/async_*`` is where live mode touches real time by design
+    (the asyncio event-loop clock, socket transports, the serve CLI's
+    timing); DET001 exempts exactly these files.  The rest of
+    ``runtime/`` -- the protocol seam and its simulation adapter --
+    keeps the full no-wall-clock contract.
+    """
+    parts = relpath.split("/")
+    return (
+        len(parts) == 2
+        and parts[0] == "runtime"
+        and parts[1].startswith("async_")
+    )
 
 
 @dataclasses.dataclass(frozen=True)

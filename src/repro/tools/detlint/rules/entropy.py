@@ -11,6 +11,12 @@ across serial / sharded / cached executions.
 Caught in the wild by this rule's first run: ``ReplicaMap
 .add_preferred`` evicting via module-level ``random.randrange`` --
 a draw no shard could ever replay.
+
+One sanctioned exemption: ``runtime/async_*`` (see
+:func:`repro.tools.detlint.classify.is_wallclock_chokepoint`) is the
+live-mode wall-clock funnel -- the event-loop runtime, socket wire,
+live clients, and the serve CLI run in real time by design.  Those
+files skip this rule only; every other protocol rule still applies.
 """
 
 from __future__ import annotations
@@ -97,4 +103,6 @@ class EntropyVisitor(ast.NodeVisitor):
     frozenset({classify.PROTOCOL}),
 )
 def make_entropy_visitor(rule: Rule, ctx: FileContext) -> ast.NodeVisitor:
+    if classify.is_wallclock_chokepoint(ctx.fclass.relpath):
+        return ast.NodeVisitor()  # sanctioned live-mode wall-clock funnel
     return EntropyVisitor(rule, ctx)

@@ -46,7 +46,9 @@ def iter_arrivals(
     boundaries = spec.boundaries()
     end_time = t0 + boundaries[-1]
     segment_idx = 0
-    now = t0 + exponential(rng, 1.0 / spec.rate)
+    now = t0 + exponential(
+        rng, 1.0 / (spec.rate * spec.segments[0].rate_mult)
+    )
     while now < end_time:
         rel = now - t0
         while rel >= boundaries[segment_idx]:
@@ -64,7 +66,7 @@ def iter_arrivals(
                 samplers[seg.alpha] = sampler
             dest = perm[sampler.sample(rng)]
         yield now, src, dest
-        now += exponential(rng, 1.0 / spec.rate)
+        now += exponential(rng, 1.0 / (spec.rate * seg.rate_mult))
 
 
 class WorkloadDriver:
@@ -115,7 +117,9 @@ class WorkloadDriver:
         now = self.system.engine.now
         self._t0 = now if at is None else max(at, now)
         self._end_time = self._t0 + self._boundaries[-1]
-        offset = self._t0 + exponential(self._rng, 1.0 / self.spec.rate)
+        offset = self._t0 + exponential(
+            self._rng, 1.0 / (self.spec.rate * self.spec.segments[0].rate_mult)
+        )
         self.system.engine.schedule(offset, self._arrival)
 
     @property
@@ -167,5 +171,5 @@ class WorkloadDriver:
             dest = self._perm[rank]
         self.system.inject(src, dest)
         self.n_generated += 1
-        gap = exponential(rng, 1.0 / self.spec.rate)
+        gap = exponential(rng, 1.0 / (self.spec.rate * seg.rate_mult))
         self.system.engine.schedule(now + gap, self._arrival)

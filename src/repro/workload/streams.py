@@ -27,17 +27,25 @@ class StreamSegment:
         alpha: Zipf order of destination popularity (0 = uniform).
         reshuffle: redraw the rank-to-node permutation when the segment
             starts (an instantaneous random popularity change).
+        rate_mult: arrival-rate multiplier for this segment relative to
+            the spec's global ``rate`` (a flash crowd is a segment with
+            a skewed alpha *and* a surge in offered load).  The default
+            ``1.0`` is exact in IEEE arithmetic (``x * 1.0 == x``), so
+            specs that never set it draw bit-identical streams.
     """
 
     duration: float
     alpha: float = 0.0
     reshuffle: bool = False
+    rate_mult: float = 1.0
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError("duration must be > 0")
         if self.alpha < 0:
             raise ValueError("alpha must be >= 0")
+        if self.rate_mult <= 0:
+            raise ValueError("rate_mult must be > 0")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -135,4 +143,41 @@ def cuzipf_stream(
         segments=tuple(segments),
         seed=seed,
         name=name or f"cuzipf{alpha:.2f}",
+    )
+
+
+def flash_crowd_stream(
+    rate: float,
+    normal: float,
+    crowd: float,
+    alpha: float = 1.5,
+    surge: float = 1.0,
+    seed: int = 0,
+    name: str = "flash-crowd",
+) -> WorkloadSpec:
+    """A flash crowd: normal traffic, then a sudden extreme hot-spot.
+
+    A uniform prefix of ``normal`` seconds is followed by a ``crowd``
+    phase where popularity snaps to Zipf(``alpha``) over a fresh random
+    ranking -- the release-announcement scenario of the Fig. 3/Fig. 5
+    discussion.  ``surge`` additionally multiplies the arrival rate
+    during the crowd (the default 1.0 keeps total offered load flat, so
+    the crowd is a pure *concentration* event).
+
+    Args:
+        normal: duration of the pre-crowd uniform phase, seconds.
+        crowd: duration of the crowd phase, seconds.
+        alpha: Zipf order of the crowd's popularity skew.
+        surge: crowd-phase arrival-rate multiplier (>= 1 for a real
+            crowd; exactly 1.0 preserves the historical stream).
+    """
+    return WorkloadSpec(
+        rate=rate,
+        segments=(
+            StreamSegment(normal, alpha=0.0),
+            StreamSegment(crowd, alpha=alpha, reshuffle=True,
+                          rate_mult=surge),
+        ),
+        seed=seed,
+        name=name,
     )

@@ -1,0 +1,16 @@
+"""Fixture: ``runtime/async_*`` is the sanctioned wall-clock funnel.
+
+Live-mode code legitimately reads real time and process entropy;
+DET001 must stay silent here (and only here).
+"""
+
+import random
+import time
+
+
+def now_wall():
+    return time.time()
+
+
+def jitter():
+    return random.random()

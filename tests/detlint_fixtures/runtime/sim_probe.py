@@ -1,0 +1,13 @@
+"""Fixture: the simulation side of ``runtime/`` keeps the full
+no-wall-clock contract -- the async_* sanction must not leak."""
+
+import random
+import time
+
+
+def now_wall():
+    return time.time()
+
+
+def jitter():
+    return random.random()

@@ -67,6 +67,24 @@ class TestClassify:
             SRC / "repro" / "tools" / "detlint" / "engine.py")
         assert fc.category == "tools"
 
+    def test_runtime_is_protocol(self):
+        for name in ("base.py", "sim_runtime.py", "async_runtime.py"):
+            fc = classify(SRC / "repro" / "runtime" / name)
+            assert fc.category == "protocol", name
+
+    def test_wallclock_chokepoint_predicate(self):
+        from repro.tools.detlint.classify import is_wallclock_chokepoint
+
+        assert is_wallclock_chokepoint("runtime/async_runtime.py")
+        assert is_wallclock_chokepoint("runtime/async_serve.py")
+        assert not is_wallclock_chokepoint("runtime/sim_runtime.py")
+        assert not is_wallclock_chokepoint("runtime/base.py")
+        # the sanction is position-sensitive: neither an async_* file
+        # elsewhere nor a nested one qualifies
+        assert not is_wallclock_chokepoint("sim/async_probe.py")
+        assert not is_wallclock_chokepoint("async_runtime.py")
+        assert not is_wallclock_chokepoint("runtime/sub/async_x.py")
+
 
 # ----------------------------------------------------------------------
 # rule catalog
@@ -115,6 +133,16 @@ class TestEntropy:
             assert hits(result, "DET001") == []
         finally:
             target.unlink()
+
+    def test_runtime_async_files_are_sanctioned(self):
+        # runtime/async_* is the live-mode wall-clock funnel
+        result = lint_fixture("runtime/async_probe.py")
+        assert hits(result, "DET001") == []
+
+    def test_runtime_sim_side_keeps_contract(self):
+        # ...but the sanction must not leak to the rest of runtime/
+        result = lint_fixture("runtime/sim_probe.py")
+        assert len(hits(result, "DET001")) == 2  # time.time + random
 
 
 # ----------------------------------------------------------------------

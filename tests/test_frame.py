@@ -1,0 +1,211 @@
+"""Unit tests for the live-mode wire codec: framing, partial-read
+reassembly, and the restricted payload decoder."""
+
+import pickle
+
+import pytest
+
+from repro.namespace.meta import NodeMeta
+from repro.net.frame import (
+    HEADER_SIZE,
+    MAX_FRAME,
+    FrameError,
+    FrameReader,
+    decode_message,
+    encode_frame,
+    encode_message,
+    register_wire_type,
+)
+from repro.net.message import (
+    Advertisement,
+    ClientLookup,
+    ClientLookupReply,
+    DataReply,
+    ProbeMessage,
+    QueryMessage,
+    ReplicaPayload,
+    ResponseMessage,
+    TransferMessage,
+)
+
+
+def make_query():
+    q = QueryMessage(7, 42, 1, 0.125)
+    q.hops = 3
+    q.sender = 5
+    q.sender_load = 0.75
+    q.sender_digest = (4, 1 << 200)  # big-int bloom snapshot
+    q.dest_map = [1, 2, 3]
+    q.path = [(3, 1), (5, 2)]
+    q.adverts = [Advertisement(9, 4)]
+    q.stale_hops = 1
+    q.via = 9
+    return q
+
+
+# ----------------------------------------------------------------------
+# codec fidelity
+# ----------------------------------------------------------------------
+
+def test_query_roundtrip_preserves_structure():
+    q2 = decode_message(encode_message(make_query()))
+    assert (q2.qid, q2.dest, q2.origin, q2.created_at) == (7, 42, 1, 0.125)
+    assert q2.hops == 3 and q2.stale_hops == 1 and q2.via == 9
+    assert q2.dest_map == [1, 2, 3]
+    # tuples must stay tuples: routing code unpacks path pairs and
+    # compares digest snapshots structurally
+    assert q2.path == [(3, 1), (5, 2)]
+    assert all(isinstance(p, tuple) for p in q2.path)
+    assert q2.sender_digest == (4, 1 << 200)
+    assert isinstance(q2.sender_digest, tuple)
+    assert q2.adverts[0].node == 9 and q2.adverts[0].server == 4
+
+
+def test_response_and_payload_roundtrip():
+    resp = ResponseMessage(make_query(), resolver=2, dest_map=[2, 0],
+                           meta_version=5)
+    r2 = decode_message(encode_message(resp))
+    assert r2.resolver == 2 and r2.dest_map == [2, 0]
+    assert r2.meta_version == 5 and r2.qid == 7
+
+    payload = ReplicaPayload(9, 2, [1, 2], {8: [1], 10: [2]})
+    t = TransferMessage(1, 0, [payload], load_delta=0.5)
+    t2 = decode_message(encode_message(t))
+    assert t2.load_delta == 0.5
+    assert t2.payloads[0].node == 9
+    assert t2.payloads[0].context == {8: [1], 10: [2]}
+
+
+def test_node_meta_roundtrip():
+    meta = NodeMeta()
+    meta.add_keywords(["alpha", "beta"])
+    meta.set_attribute("k", "v")
+    reply = DataReply(1, 42, 3)
+    reply.meta = meta
+    m2 = decode_message(encode_message(reply)).meta
+    assert m2.keywords == {"alpha", "beta"}
+    assert m2.attributes == {"k": "v"}
+    assert m2.version == meta.version
+
+
+def test_client_plane_roundtrip():
+    cl = decode_message(encode_message(ClientLookup(11, 42)))
+    assert (cl.cqid, cl.node) == (11, 42)
+    rep = ClientLookupReply(11, 42, True, servers=[3, 1], meta_version=2,
+                            hops=4, latency=0.25)
+    r2 = decode_message(encode_message(rep))
+    assert r2.ok and r2.servers == [3, 1] and r2.hops == 4
+    assert r2.latency == 0.25
+
+
+# ----------------------------------------------------------------------
+# restricted decoding
+# ----------------------------------------------------------------------
+
+class NotAWireType:
+    pass
+
+
+def test_encode_rejects_unregistered_types():
+    with pytest.raises(FrameError):
+        encode_message(NotAWireType())
+    with pytest.raises(FrameError):
+        encode_message({"just": "a dict"})
+
+
+def test_decode_refuses_disallowed_globals():
+    with pytest.raises(FrameError):
+        decode_message(pickle.dumps(NotAWireType()))
+    # even stdlib callables must not resolve
+    with pytest.raises(FrameError):
+        decode_message(pickle.dumps(print))
+
+
+def test_decode_refuses_garbage():
+    with pytest.raises(FrameError):
+        decode_message(b"\x00\x01not a pickle")
+
+
+@register_wire_type
+class ExtraWireType:
+    def __init__(self):
+        self.x = 1
+
+
+def test_register_wire_type_admits_class():
+    e2 = decode_message(encode_message(ExtraWireType()))
+    assert e2.x == 1
+
+
+# ----------------------------------------------------------------------
+# framing and reassembly
+# ----------------------------------------------------------------------
+
+def test_frame_layout():
+    frame = encode_frame(ProbeMessage(1, 2, 0.5))
+    length = int.from_bytes(frame[:HEADER_SIZE], "big")
+    assert length == len(frame) - HEADER_SIZE
+    msg = decode_message(frame[HEADER_SIZE:])
+    assert (msg.session, msg.src, msg.src_load) == (1, 2, 0.5)
+
+
+def test_reader_single_feed_multiple_frames():
+    msgs = [ProbeMessage(i, i + 1, 0.1 * i) for i in range(5)]
+    stream = b"".join(encode_frame(m) for m in msgs)
+    reader = FrameReader()
+    payloads = reader.feed(stream)
+    assert len(payloads) == 5
+    assert [decode_message(p).session for p in payloads] == [0, 1, 2, 3, 4]
+    assert reader.pending() == 0
+
+
+def test_reader_byte_by_byte_reassembly():
+    frames = b"".join(
+        encode_frame(ClientLookup(i, 100 + i)) for i in range(3)
+    )
+    reader = FrameReader()
+    out = []
+    for i in range(len(frames)):
+        out.extend(reader.feed(frames[i:i + 1]))
+    assert [decode_message(p).cqid for p in out] == [0, 1, 2]
+    assert reader.pending() == 0
+    assert reader.n_frames == 3
+
+
+def test_reader_split_inside_header_and_payload():
+    frame = encode_frame(make_query())
+    reader = FrameReader()
+    # half a header first: nothing completes, bytes are buffered
+    assert reader.feed(frame[:2]) == []
+    assert reader.pending() == 2
+    # up to mid-payload: still nothing
+    mid = HEADER_SIZE + (len(frame) - HEADER_SIZE) // 2
+    assert reader.feed(frame[2:mid]) == []
+    # the rest completes exactly one frame
+    payloads = reader.feed(frame[mid:])
+    assert len(payloads) == 1
+    assert decode_message(payloads[0]).qid == 7
+
+
+def test_reader_frame_boundary_straddles_feeds():
+    a = encode_frame(ProbeMessage(1, 0, 0.0))
+    b = encode_frame(ProbeMessage(2, 0, 0.0))
+    reader = FrameReader()
+    # feed a + first 3 bytes of b
+    first = reader.feed(a + b[:3])
+    assert len(first) == 1 and decode_message(first[0]).session == 1
+    second = reader.feed(b[3:])
+    assert len(second) == 1 and decode_message(second[0]).session == 2
+
+
+def test_reader_rejects_oversized_header():
+    bogus = (MAX_FRAME + 1).to_bytes(4, "big") + b"x"
+    with pytest.raises(FrameError):
+        FrameReader().feed(bogus)
+
+
+def test_reader_custom_limit():
+    reader = FrameReader(max_frame=8)
+    small = encode_frame(ProbeMessage(1, 2, 0.5))
+    with pytest.raises(FrameError):
+        reader.feed(small)  # pickle payload is far beyond 8 bytes

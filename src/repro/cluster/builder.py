@@ -35,8 +35,15 @@ from repro.sim.stats import StatsSink
 
 def _resolve_owner(
     ns: Namespace, cfg: SystemConfig, owner: Optional[Sequence[int]]
-) -> List[int]:
-    """Validate or default the node-to-server assignment."""
+) -> Sequence[int]:
+    """Validate or default the node-to-server assignment.
+
+    An explicit ``owner`` is validated *in place* and returned as-is:
+    shard workers pass a read-only ``memoryview`` into the shared
+    arena block, and copying it to a list would re-materialise one
+    boxed int per node per worker -- exactly the per-worker RSS the
+    shared arenas exist to eliminate.
+    """
     if cfg.n_servers > len(ns):
         raise ValueError(
             f"n_servers ({cfg.n_servers}) exceeds node count ({len(ns)}); "
@@ -44,16 +51,16 @@ def _resolve_owner(
         )
     if owner is None:
         return assign_nodes_to_servers(ns, cfg.n_servers, seed=cfg.seed)
-    owner_list = list(owner)
-    if len(owner_list) != len(ns):
+    if len(owner) != len(ns):
         raise ValueError("owner assignment length must equal node count")
-    if any(not 0 <= o < cfg.n_servers for o in owner_list):
+    n_servers = cfg.n_servers
+    if any(not 0 <= o < n_servers for o in owner):
         raise ValueError("owner ids out of range")
-    return owner_list
+    return owner
 
 
 def _populate_system(
-    system: System, owner_list: List[int], sids: Iterable[int]
+    system: System, owner_list: Sequence[int], sids: Iterable[int]
 ) -> None:
     """Construct and wire the peers for ``sids`` into ``system``.
 

@@ -162,14 +162,46 @@ class PersistentWorker:
             raise ParallelTaskError(f"shard worker failed:\n{payload}")
         return payload
 
+    def send_frame(self, frame: Any) -> None:
+        """Ship one raw bytes frame (no pickling).
+
+        Raises:
+            ParallelTaskError: the worker's pipe is gone (it died).
+        """
+        try:
+            self._conn.send_bytes(frame)
+        except (BrokenPipeError, OSError):
+            raise ParallelTaskError(
+                f"shard worker pid={self.proc.pid} exited unexpectedly "
+                "(pipe closed on send)"
+            ) from None
+
+    def recv_frame(self) -> bytes:
+        """Receive one raw bytes frame; EOF means the worker died."""
+        try:
+            return self._conn.recv_bytes()
+        except (EOFError, OSError):
+            raise ParallelTaskError(
+                f"shard worker pid={self.proc.pid} exited unexpectedly"
+            ) from None
+
     def request(self, msg: Any) -> Any:
         self.send(msg)
         return self.recv()
 
-    def close(self) -> None:
-        """Ask the worker to exit; escalate to terminate if it won't."""
+    def close(self, sentinel: Optional[bytes] = None) -> None:
+        """Ask the worker to exit; escalate to terminate if it won't.
+
+        Args:
+            sentinel: exit request as a raw bytes frame for workers
+                speaking the frame protocol; default is the legacy
+                pickled ``("exit", None)`` tuple.
+        """
         try:
-            self._conn.send(("exit", None))
+            if sentinel is not None:
+                self._conn.send_bytes(sentinel)
+            else:
+                self._conn.send(("exit", None))
         except (BrokenPipeError, OSError):
             pass
         try:

@@ -38,6 +38,7 @@ from repro.sim.engine import Engine, SimError
 
 if TYPE_CHECKING:  # circular at runtime: cluster.builder imports us
     from repro.cluster.system import System
+    from repro.sim.shard import WindowedCoordinator
 
 __all__ = [
     "ProfiledEngine",
@@ -46,6 +47,7 @@ __all__ = [
     "reset",
     "make_engine",
     "note_system",
+    "note_coordinator",
     "engines",
     "aggregate",
     "decision_counts",
@@ -56,6 +58,7 @@ __all__ = [
 _ACTIVE = False
 _ENGINES: List["ProfiledEngine"] = []
 _SYSTEMS: List["System"] = []
+_COORDS: List["WindowedCoordinator"] = []
 
 
 class ProfiledEngine(Engine):
@@ -185,6 +188,7 @@ def reset() -> None:
     """Forget every engine/system registered so far (keeps on/off state)."""
     _ENGINES.clear()
     _SYSTEMS.clear()
+    _COORDS.clear()
 
 
 def is_active() -> bool:
@@ -215,6 +219,18 @@ def note_system(system: "System") -> None:
     """
     if _ACTIVE:
         _SYSTEMS.append(system)
+
+
+def note_coordinator(coord: "WindowedCoordinator") -> None:
+    """Register a sharded-run coordinator so its data-plane counters
+    (barriers, coalesced windows, barrier wait, encode/decode time,
+    bytes exchanged) appear in the report.
+
+    No-op unless profiling is enabled; called by
+    ``WindowedCoordinator.run``.
+    """
+    if _ACTIVE:
+        _COORDS.append(coord)
 
 
 def engines() -> List[ProfiledEngine]:
@@ -328,6 +344,35 @@ def render_report(engs: Optional[List[ProfiledEngine]] = None) -> str:
                     "fail"):
             cnt = decisions.get(key, 0)
             lines.append(f"  {key:<10} {cnt:>10} {cnt / total_dec:>7.1%}")
+    for coord in _COORDS:
+        dp = coord.data_plane
+        if not dp:
+            # run() never finished (crash mid-run); show the live
+            # counters the coordinator accumulated so far instead
+            dp = {
+                "backend": coord.backend, "codec": coord.codec,
+                "n_barriers": coord.n_windows,
+                "n_coalesced": coord.n_coalesced,
+                "barrier_wait_s": coord.barrier_wait_s,
+                "bytes_exchanged": coord.bytes_exchanged,
+                "encode_s": 0.0, "decode_s": 0.0,
+            }
+        lines.append(
+            f"sharded data plane ({dp['backend']}"
+            f"{', packed codec' if dp['codec'] else ''}):"
+        )
+        lines.append(
+            f"  barriers   {dp['n_barriers']:>10}   "
+            f"coalesced windows {dp['n_coalesced']:>10}"
+        )
+        lines.append(
+            f"  barrier-wait {dp['barrier_wait_s']:>8.3f}s   "
+            f"encode {dp['encode_s']:>8.3f}s   "
+            f"decode {dp['decode_s']:>8.3f}s"
+        )
+        lines.append(
+            f"  bytes exchanged {dp['bytes_exchanged']:>14,}"
+        )
     return "\n".join(lines)
 
 

@@ -54,8 +54,10 @@ falls back to the serial engine rather than silently diverging.
 from __future__ import annotations
 
 import heapq
+import math
 import os
 import warnings
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -65,6 +67,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 if TYPE_CHECKING:
@@ -72,10 +75,46 @@ if TYPE_CHECKING:
 
 from repro.cluster.builder import _resolve_owner, build_shard_system, build_system
 from repro.cluster.config import SystemConfig
-from repro.namespace.tree import Namespace
+from repro.namespace.tree import Namespace, export_arenas
 from repro.net.transport import shard_of_sid
 from repro.sim import profile
 from repro.sim.engine import Engine, ShardError
+from repro.sim.shardcodec import (
+    LOG_BASE,
+    LOG_CLIENT_LOOKUP,
+    LOG_CLIENT_RETRY,
+    LOG_CLIENT_TIMEOUT,
+    LOG_COMPLETION,
+    LOG_COMPLETION_ARGS,
+    LOG_DROP,
+    LOG_FLOAT_ARG,
+    LOG_FORWARD,
+    LOG_INJECTED,
+    LOG_LEVEL_ARG,
+    LOG_LOAD,
+    LOG_REPLICA_CREATED,
+    LOG_REPLICA_EVICTED,
+    LOG_STALE_HOP,
+    LOG_STR_ARG,
+    OP_EXIT,
+    OP_FINISH,
+    OP_INIT,
+    OP_STEP,
+    ST_ERROR,
+    ST_OK,
+    ST_PAYLOAD,
+    ST_STEP,
+    ArrivalBatch,
+    PackedLog,
+    decode_batch,
+    decode_stats_log,
+    decode_step_reply,
+    decode_step_request,
+    encode_batch,
+    encode_step_reply,
+    encode_step_request,
+    require_encodable,
+)
 from repro.sim.stats import StatsSink, SystemStats
 from repro.workload.arrivals import WorkloadDriver, iter_arrivals
 from repro.workload.streams import WorkloadSpec
@@ -134,19 +173,19 @@ def _make_shard_engine(shard_id: int) -> Engine:
 # per-shard stats event log + canonical-order replay
 # ----------------------------------------------------------------------
 
-# log record codes (index = StatsSink hook); records are
-# (timestamp, code, *hook_args_after_now) tuples
-_INJECTED = 0
-_DROP = 1
-_COMPLETION = 2
-_FORWARD = 3
-_STALE_HOP = 4
-_REPLICA_CREATED = 5
-_REPLICA_EVICTED = 6
-_LOAD = 7
-_CLIENT_LOOKUP = 8
-_CLIENT_TIMEOUT = 9
-_CLIENT_RETRY = 10
+# log record codes (index = StatsSink hook); the wire layouts live in
+# repro.sim.shardcodec, re-exported here under the historical names
+_INJECTED = LOG_INJECTED
+_DROP = LOG_DROP
+_COMPLETION = LOG_COMPLETION
+_FORWARD = LOG_FORWARD
+_STALE_HOP = LOG_STALE_HOP
+_REPLICA_CREATED = LOG_REPLICA_CREATED
+_REPLICA_EVICTED = LOG_REPLICA_EVICTED
+_LOAD = LOG_LOAD
+_CLIENT_LOOKUP = LOG_CLIENT_LOOKUP
+_CLIENT_TIMEOUT = LOG_CLIENT_TIMEOUT
+_CLIENT_RETRY = LOG_CLIENT_RETRY
 
 
 class ShardRecorder(StatsSink):
@@ -161,50 +200,88 @@ class ShardRecorder(StatsSink):
     :class:`~repro.sim.stats.SystemStats` performs the exact additions
     the serial collector performed, in the same order.
 
+    Records are appended straight into a flat byte buffer (the
+    :class:`~repro.sim.shardcodec.PackedLog` wire layouts) with drop
+    reasons and forward sources interned into a small string table --
+    the process backend ships the buffer as-is and the coordinator
+    decodes it exactly once at finish, instead of pickling one Python
+    tuple per event.
+
     ``record_forward`` is the one hook without a ``now`` argument; the
     recorder stamps it from its engine reference.
     """
 
-    __slots__ = ("engine", "log")
+    __slots__ = ("engine", "_data", "_strings", "_sidx", "n")
 
     def __init__(self, engine: Engine) -> None:
         self.engine = engine
-        self.log: List[tuple] = []
+        self._data = bytearray()
+        self._strings: List[str] = []
+        self._sidx: Dict[str, int] = {}
+        self.n = 0
+
+    def _intern(self, s: str) -> int:
+        i = self._sidx.get(s)
+        if i is None:
+            i = self._sidx[s] = len(self._strings)
+            self._strings.append(s)
+            if i > 0xFFFF:  # pragma: no cover - vocabulary is tiny
+                raise ShardError("stats string table overflow (u16 index)")
+        return i
+
+    def packed(self) -> PackedLog:
+        """The log so far as a picklable flat-bytes payload."""
+        return PackedLog(bytes(self._data), tuple(self._strings), self.n)
 
     def record_injected(self, now: float) -> None:
-        self.log.append((now, _INJECTED))
+        self._data += LOG_BASE.pack(now, LOG_INJECTED)
+        self.n += 1
 
     def record_drop(self, now: float, reason: str = "queue") -> None:
-        self.log.append((now, _DROP, reason))
+        self._data += LOG_STR_ARG.pack(now, LOG_DROP, self._intern(reason))
+        self.n += 1
 
     def record_completion(
         self, now: float, latency: float, hops: int, stale_hops: int
     ) -> None:
-        self.log.append((now, _COMPLETION, latency, hops, stale_hops))
+        self._data += LOG_COMPLETION_ARGS.pack(
+            now, LOG_COMPLETION, latency, hops, stale_hops
+        )
+        self.n += 1
 
     def record_forward(self, source: str) -> None:
-        self.log.append((self.engine.now, _FORWARD, source))
+        self._data += LOG_STR_ARG.pack(
+            self.engine.now, LOG_FORWARD, self._intern(source)
+        )
+        self.n += 1
 
     def record_stale_hop(self, now: float) -> None:
-        self.log.append((now, _STALE_HOP))
+        self._data += LOG_BASE.pack(now, LOG_STALE_HOP)
+        self.n += 1
 
     def record_replica_created(self, now: float, level: int) -> None:
-        self.log.append((now, _REPLICA_CREATED, level))
+        self._data += LOG_LEVEL_ARG.pack(now, LOG_REPLICA_CREATED, level)
+        self.n += 1
 
     def record_replica_evicted(self, now: float, level: int) -> None:
-        self.log.append((now, _REPLICA_EVICTED, level))
+        self._data += LOG_LEVEL_ARG.pack(now, LOG_REPLICA_EVICTED, level)
+        self.n += 1
 
     def sample_load(self, now: float, load: float) -> None:
-        self.log.append((now, _LOAD, load))
+        self._data += LOG_FLOAT_ARG.pack(now, LOG_LOAD, load)
+        self.n += 1
 
     def record_client_lookup(self, now: float) -> None:
-        self.log.append((now, _CLIENT_LOOKUP))
+        self._data += LOG_BASE.pack(now, LOG_CLIENT_LOOKUP)
+        self.n += 1
 
     def record_client_timeout(self, now: float) -> None:
-        self.log.append((now, _CLIENT_TIMEOUT))
+        self._data += LOG_BASE.pack(now, LOG_CLIENT_TIMEOUT)
+        self.n += 1
 
     def record_client_retry(self, now: float) -> None:
-        self.log.append((now, _CLIENT_RETRY))
+        self._data += LOG_BASE.pack(now, LOG_CLIENT_RETRY)
+        self.n += 1
 
 
 _REPLAY_HOOKS = {
@@ -221,7 +298,9 @@ _REPLAY_HOOKS = {
 }
 
 
-def replay_stats(logs: Sequence[List[tuple]], max_depth: int) -> SystemStats:
+def replay_stats(
+    logs: Sequence[Union[PackedLog, List[tuple]]], max_depth: int
+) -> SystemStats:
     """Merge per-shard logs and replay them into one fresh collector.
 
     Streams are merged by ``(timestamp, shard_id, log_index)`` --
@@ -230,7 +309,15 @@ def replay_stats(logs: Sequence[List[tuple]], max_depth: int) -> SystemStats:
     shard blocks, ascending-sid local loops) equals the serial run's
     ascending-sid order for the only simultaneous cross-shard records
     there are: per-server maintenance samples.
+
+    Accepts packed logs (the recorder's wire form, decoded here exactly
+    once) or pre-expanded tuple lists interchangeably.
     """
+    expanded: List[List[tuple]] = [
+        decode_stats_log(log) if isinstance(log, PackedLog) else log
+        for log in logs
+    ]
+    logs = expanded
     stats = SystemStats(max_depth)
 
     def keyed(
@@ -279,6 +366,7 @@ class ShardResult:
         "queue_drops_by_sid",
         "replicas_by_sid",
         "hosted_by_sid",
+        "data_plane",
     )
 
     def __init__(self, **kw: Any) -> None:
@@ -321,15 +409,60 @@ class ShardRunner:
         )
         self.system.feed(arrivals)
         self.system.start_maintenance()
+        # wall-clock codec accounting (profile output only -- never
+        # part of any fingerprint)
+        self.encode_s = 0.0
+        self.decode_s = 0.0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def next_time(self) -> float:
+        """Earliest pending local event (+inf when the heap is empty).
+
+        The coordinator takes the minimum across shards to decide how
+        many empty windows it may coalesce past without a barrier.  A
+        lazily-cancelled event may report an earlier time than any live
+        event -- that only makes coalescing more conservative.
+        """
+        t = self.system.engine.peek_time()
+        return math.inf if t is None else t
 
     def step(
         self, end: float, inclusive: bool, batches: List[List[tuple]]
-    ) -> Dict[int, List[tuple]]:
-        """Ingest the barrier's batches, run one window, return egress."""
+    ) -> Tuple[Dict[int, List[tuple]], float]:
+        """Ingest the barrier's batches, run one window, return egress
+        plus this shard's next pending event time."""
         transport = self.system.transport
         transport.ingest(batches)
         self.system.engine.run_window(end, inclusive)
-        return transport.collect_egress()
+        return transport.collect_egress(), self.next_time()
+
+    def step_packed(
+        self, end: float, inclusive: bool, frames: Sequence[Any]
+    ) -> Tuple[List[Tuple[int, bytes]], float]:
+        """The packed-codec variant of :meth:`step`.
+
+        Ingress and egress are codec frames
+        (:mod:`repro.sim.shardcodec`); message objects exist only
+        inside this shard, never on the pipe.  Egress frames come back
+        in ascending destination-shard order (the same order
+        ``collect_egress`` + sorted routing produces).
+        """
+        t0 = perf_counter()
+        batches = [decode_batch(f) for f in frames]
+        self.decode_s += perf_counter() - t0
+        self.bytes_in += sum(len(f) for f in frames)
+        transport = self.system.transport
+        transport.ingest(batches)
+        self.system.engine.run_window(end, inclusive)
+        out = transport.collect_egress()
+        t1 = perf_counter()
+        dest_frames = [
+            (dest, encode_batch(out[dest])) for dest in sorted(out)
+        ]
+        self.encode_s += perf_counter() - t1
+        self.bytes_out += sum(len(f) for _, f in dest_frames)
+        return dest_frames, self.next_time()
 
     def finish(self) -> ShardResult:
         system = self.system
@@ -338,7 +471,7 @@ class ShardRunner:
         peers = system.local_peers
         return ShardResult(
             shard_id=system.shard_id,
-            log=self.recorder.log,
+            log=self.recorder.packed(),
             n_sent=transport.n_sent,
             n_control_sent=transport.n_control_sent,
             n_lost=transport.n_lost,
@@ -350,6 +483,12 @@ class ShardRunner:
             queue_drops_by_sid=[p.n_queue_drops for p in peers],
             replicas_by_sid=[sorted(p.replicas) for p in peers],
             hosted_by_sid=[sorted(p.hosted_list) for p in peers],
+            data_plane={
+                "encode_s": self.encode_s,
+                "decode_s": self.decode_s,
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+            },
         )
 
 
@@ -400,6 +539,7 @@ class MergedRun:
         "queue_drops_by_sid",
         "replicas_by_sid",
         "hosted_by_sid",
+        "data_plane",
     )
 
     def __init__(
@@ -409,10 +549,12 @@ class MergedRun:
         results: Sequence[ShardResult],
         stats: SystemStats,
         until: float,
+        data_plane: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.ns = ns
         self.cfg = cfg
         self.stats = stats
+        self.data_plane = {} if data_plane is None else data_plane
         self.n_shards = len(results)
         self.n_windows = max((r.n_windows for r in results), default=0)
         self.engine = _EngineView(
@@ -674,6 +816,7 @@ class WindowedCoordinator:
         spec: WorkloadSpec,
         n_shards: int,
         backend: str = "inline",
+        codec: bool = False,
     ) -> None:
         if cfg.net_jitter > 0:
             raise ShardError(
@@ -698,10 +841,25 @@ class WindowedCoordinator:
         self.spec = spec
         self.n_shards = resolve_shards(n_shards, cfg.n_servers)
         self.backend = backend
+        # the process backend always runs the packed data plane (that
+        # is its whole point); `codec=True` makes the inline backend
+        # round-trip every barrier through the codec too, which is how
+        # tests and the bench pin frame-level determinism in-process
+        self.codec = bool(codec) or backend == "process"
+        if self.codec:
+            from repro.server.peer import PEER_DISPATCH
+
+            require_encodable(PEER_DISPATCH.types())
         self.n_windows = 0
+        self.n_coalesced = 0
+        self.barrier_wait_s = 0.0
+        self.bytes_exchanged = 0
+        self.data_plane: Dict[str, Any] = {}
         self.owner = _resolve_owner(ns, cfg, None)
         # pre-generate the arrival schedule: global qids in arrival
-        # order, partitioned by the source server's shard
+        # order, partitioned by the source server's shard, then packed
+        # into flat columns (24 bytes/arrival on the worker pipes
+        # instead of a pickled tuple of four boxed numbers)
         per_shard: List[List[Tuple[float, int, int, int]]] = [
             [] for _ in range(self.n_shards)
         ]
@@ -712,25 +870,48 @@ class WindowedCoordinator:
             per_shard[shard_of_sid(src, n_servers, self.n_shards)].append(
                 (t, src, dest, qid)
             )
-        self.arrivals = per_shard
+        self.arrivals = [ArrivalBatch(rows) for rows in per_shard]
 
     # ------------------------------------------------------------------
 
     def run(self, until: float) -> MergedRun:
-        """Advance every shard to ``until``; return the merged run."""
-        stepper = (
+        """Advance every shard to ``until``; return the merged run.
+
+        Window coalescing: after a barrier at which *every* shard's
+        egress was empty, let ``nt_min`` be the minimum over shards of
+        the next pending local event time.  Every subsequent
+        non-inclusive window end ``e <= nt_min`` is skipped without a
+        barrier -- those sub-windows provably contain no events (all
+        pending events are at ``>= nt_min``), so when the loop finally
+        steps to the first end past ``nt_min``, every event it executes
+        lies in the *final* skipped-to sub-window and its sends deliver
+        at or after that window's end, exactly as if each empty window
+        had been stepped individually.  The final inclusive window is
+        never skipped (it must land every clock on ``until``).
+        """
+        stepper: Union[_ProcessStepper, _InlineStepper] = (
             _ProcessStepper(self) if self.backend == "process"
             else _InlineStepper(self)
         )
+        profile.note_coordinator(self)
         try:
-            inboxes: List[List[List[tuple]]] = [
-                [] for _ in range(self.n_shards)
-            ]
+            inboxes: List[List[Any]] = [[] for _ in range(self.n_shards)]
+            pending = False  # any cross-shard mail at the last barrier?
+            next_min: Optional[float] = None
             for end, inclusive in window_plan(self.cfg.net_delay, until):
-                outs = stepper.step_all(end, inclusive, inboxes)
+                if (
+                    not inclusive
+                    and not pending
+                    and next_min is not None
+                    and end <= next_min
+                ):
+                    self.n_coalesced += 1
+                    continue
+                outs, next_min = stepper.step_all(end, inclusive, inboxes)
                 inboxes = self._route(outs)
+                pending = any(inboxes)
                 self.n_windows += 1
-            if any(inboxes):
+            if pending:
                 # cross-shard messages landing at exactly `until` (sent
                 # at exactly `until - net_delay`): the serial engine's
                 # inclusive stop delivers them, so drain one more
@@ -741,22 +922,38 @@ class WindowedCoordinator:
         finally:
             stepper.close()
         stats = replay_stats([r.log for r in results], self.ns.max_depth)
-        return MergedRun(self.ns, self.cfg, results, stats, until)
+        self.data_plane = {
+            "backend": self.backend,
+            "codec": self.codec,
+            "n_barriers": self.n_windows,
+            "n_coalesced": self.n_coalesced,
+            "barrier_wait_s": self.barrier_wait_s,
+            "bytes_exchanged": self.bytes_exchanged,
+            "encode_s": sum(r.data_plane["encode_s"] for r in results),
+            "decode_s": sum(r.data_plane["decode_s"] for r in results),
+        }
+        return MergedRun(
+            self.ns, self.cfg, results, stats, until,
+            data_plane=self.data_plane,
+        )
 
-    def _route(
-        self, outs: Sequence[Dict[int, List[tuple]]]
-    ) -> List[List[List[tuple]]]:
+    def _route(self, outs: Sequence[Dict[int, Any]]) -> List[List[Any]]:
         """Turn per-shard egress dicts into per-shard ingest batches.
 
         Batches are appended in ascending source-shard order so every
         shard merges the same barrier the same way no matter which
-        backend delivered it.
+        backend delivered it.  With the codec on, a batch is a packed
+        frame (bytes) the coordinator routes without decoding; the
+        canonical merge key rides in each record's header.
         """
-        inboxes: List[List[List[tuple]]] = [[] for _ in range(self.n_shards)]
+        inboxes: List[List[Any]] = [[] for _ in range(self.n_shards)]
         for src in range(self.n_shards):
             out = outs[src]
             for dest in sorted(out):
-                inboxes[dest].append(out[dest])
+                batch = out[dest]
+                if not isinstance(batch, list):
+                    self.bytes_exchanged += len(batch)
+                inboxes[dest].append(batch)
         return inboxes
 
     def _runner_args(self, shard_id: int) -> tuple:
@@ -767,21 +964,38 @@ class WindowedCoordinator:
 
 
 class _InlineStepper:
-    """All shards in this process, stepped round-robin."""
+    """All shards in this process, stepped round-robin.
+
+    With ``codec`` on, every barrier's egress is round-tripped through
+    the packed frames (encode on collect, decode on ingest) even though
+    no pipe is involved -- the in-process way to pin codec determinism.
+    """
 
     def __init__(self, coord: WindowedCoordinator) -> None:
+        self.codec = coord.codec
         self.runners = [
             ShardRunner(*coord._runner_args(i))
             for i in range(coord.n_shards)
         ]
 
     def step_all(
-        self, end: float, inclusive: bool, inboxes: Sequence[List[List[tuple]]]
-    ) -> List[Dict[int, List[tuple]]]:
-        return [
-            r.step(end, inclusive, inboxes[i])
-            for i, r in enumerate(self.runners)
-        ]
+        self, end: float, inclusive: bool, inboxes: Sequence[List[Any]]
+    ) -> Tuple[List[Dict[int, Any]], float]:
+        outs: List[Dict[int, Any]] = []
+        next_min = math.inf
+        if self.codec:
+            for i, r in enumerate(self.runners):
+                dest_frames, nt = r.step_packed(end, inclusive, inboxes[i])
+                outs.append(dict(dest_frames))
+                if nt < next_min:
+                    next_min = nt
+        else:
+            for i, r in enumerate(self.runners):
+                out, nt = r.step(end, inclusive, inboxes[i])
+                outs.append(out)
+                if nt < next_min:
+                    next_min = nt
+        return outs, next_min
 
     def finish_all(self) -> List[ShardResult]:
         return [r.finish() for r in self.runners]
@@ -791,76 +1005,189 @@ class _InlineStepper:
 
 
 class _ProcessStepper:
-    """One persistent worker process per shard.
+    """One persistent worker process per shard, pure-bytes pipes.
 
     Workers are long-lived (spawned once, one pipe round-trip per
     window) because shard state -- the engine heap, every peer --
     cannot cross process boundaries between windows.  All sends go out
     before any receive so shards genuinely run their windows in
     parallel.
+
+    Pickle appears exactly twice in a worker's lifetime: the init
+    arguments and the final :class:`ShardResult`.  Everything else --
+    every window request, every egress batch, the final stats log
+    inside the result -- is flat packed bytes
+    (:mod:`repro.sim.shardcodec`), and the namespace arenas plus the
+    owner assignment arrive as an :class:`~repro.namespace.tree.ArenaHandle`
+    into one shared read-only memory block instead of per-worker
+    copies.
     """
 
     def __init__(self, coord: WindowedCoordinator) -> None:
+        import pickle
+
         from repro.experiments.parallel import PersistentWorker
 
+        self.coord = coord
         self.workers: List[PersistentWorker] = []
+        self.arenas = None
+        self._window = 0
         try:
+            self.arenas = export_arenas(coord.ns, owner=coord.owner)
+            handle = self.arenas.handle
             for i in range(coord.n_shards):
                 self.workers.append(PersistentWorker(_shard_worker_main))
             for i, w in enumerate(self.workers):
-                w.send(("init", coord._runner_args(i)))
-            for w in self.workers:
-                w.recv()
+                w.send_frame(bytes((OP_INIT,)) + pickle.dumps(
+                    (handle, coord.cfg, i, coord.n_shards,
+                     coord.arrivals[i])
+                ))
+            for i, w in enumerate(self.workers):
+                self._check(i, w.recv_frame(), ST_OK)
         except BaseException:
             self.close()
             raise
 
+    def _check(self, shard_id: int, payload: bytes, want: int) -> bytes:
+        """Validate a reply's status byte; surface worker tracebacks."""
+        if not payload or payload[0] != want:
+            detail = (
+                payload[1:].decode("utf-8", "replace") if payload else "EOF"
+            )
+            self._teardown()
+            raise ShardError(
+                f"shard {shard_id} worker failed at window "
+                f"{self._window}:\n{detail}"
+            )
+        return payload
+
     def step_all(
-        self, end: float, inclusive: bool, inboxes: Sequence[List[List[tuple]]]
-    ) -> List[Dict[int, List[tuple]]]:
+        self, end: float, inclusive: bool, inboxes: Sequence[List[Any]]
+    ) -> Tuple[List[Dict[int, Any]], float]:
+        from repro.experiments.parallel import ParallelTaskError
+
+        self._window += 1
         for i, w in enumerate(self.workers):
-            w.send(("step", (end, inclusive, inboxes[i])))
-        return [w.recv() for w in self.workers]
+            try:
+                w.send_frame(encode_step_request(end, inclusive, inboxes[i]))
+            except ParallelTaskError as exc:
+                self._teardown()
+                raise ShardError(
+                    f"shard {i} worker died at window {self._window} "
+                    f"(end={end}): {exc}"
+                ) from None
+        outs: List[Dict[int, Any]] = []
+        next_min = math.inf
+        t0 = perf_counter()
+        for i, w in enumerate(self.workers):
+            try:
+                payload = w.recv_frame()
+            except ParallelTaskError as exc:
+                self._teardown()
+                raise ShardError(
+                    f"shard {i} worker died at window {self._window} "
+                    f"(end={end}): {exc}"
+                ) from None
+            self._check(i, payload, ST_STEP)
+            nt, dest_frames = decode_step_reply(memoryview(payload)[1:])
+            # frames stay zero-copy views into the reply payload; the
+            # routed inbox holds them alive until the next send
+            outs.append(dict(dest_frames))
+            if nt < next_min:
+                next_min = nt
+        self.coord.barrier_wait_s += perf_counter() - t0
+        return outs, next_min
 
     def finish_all(self) -> List[ShardResult]:
+        import pickle
+
+        from repro.experiments.parallel import ParallelTaskError
+
+        results: List[ShardResult] = []
         for w in self.workers:
-            w.send(("finish", None))
-        return [w.recv() for w in self.workers]
+            w.send_frame(bytes((OP_FINISH,)))
+        for i, w in enumerate(self.workers):
+            try:
+                payload = w.recv_frame()
+            except ParallelTaskError as exc:
+                self._teardown()
+                raise ShardError(
+                    f"shard {i} worker died during finish: {exc}"
+                ) from None
+            self._check(i, payload, ST_PAYLOAD)
+            results.append(pickle.loads(memoryview(payload)[1:]))
+        return results
+
+    def _teardown(self) -> None:
+        """Kill remaining workers after one died; idempotent."""
+        for w in self.workers:
+            w.close(sentinel=bytes((OP_EXIT,)))
+        self.workers = []
 
     def close(self) -> None:
-        for w in self.workers:
-            w.close()
+        self._teardown()
+        if self.arenas is not None:
+            self.arenas.close()
+            self.arenas = None
 
 
 def _shard_worker_main(conn: "Connection") -> None:
-    """Worker-process loop: init once, then step per barrier."""
+    """Worker-process loop: attach arenas, init once, step per barrier.
+
+    The protocol is bytes frames in both directions: request op byte +
+    body, reply status byte + body (:mod:`repro.sim.shardcodec`).
+    """
+    import pickle
     import traceback
 
     runner: Optional[ShardRunner] = None
+    attached = None
     try:
         while True:
-            op, payload = conn.recv()
-            if op == "init":
-                runner = ShardRunner(*payload)
-                conn.send(("ok", None))
-            elif op == "step":
-                end, inclusive, batches = payload
-                conn.send(("ok", runner.step(end, inclusive, batches)))
-            elif op == "finish":
-                conn.send(("ok", runner.finish()))
-            elif op == "exit":
+            try:
+                payload = conn.recv_bytes()
+            except EOFError:  # parent went away
+                return
+            op = payload[0]
+            body = memoryview(payload)[1:]
+            if op == OP_STEP:
+                end, inclusive, frames = decode_step_request(body)
+                assert runner is not None
+                dest_frames, nt = runner.step_packed(end, inclusive, frames)
+                conn.send_bytes(encode_step_reply(nt, dest_frames))
+            elif op == OP_INIT:
+                handle, cfg, shard_id, n_shards, arrivals = \
+                    pickle.loads(body)
+                # attach the shared arenas; `attached` pins the mapping
+                # (and the owner view) for the worker's whole life
+                attached = handle.attach()
+                runner = ShardRunner(
+                    attached.ns, cfg, shard_id, n_shards,
+                    attached.owner, arrivals,
+                )
+                conn.send_bytes(bytes((ST_OK,)))
+            elif op == OP_FINISH:
+                assert runner is not None
+                conn.send_bytes(
+                    bytes((ST_PAYLOAD,)) + pickle.dumps(runner.finish())
+                )
+            elif op == OP_EXIT:
                 return
             else:  # pragma: no cover - protocol misuse
-                conn.send(("error", f"unknown op {op!r}"))
+                conn.send_bytes(
+                    bytes((ST_ERROR,)) + f"unknown op {op}".encode("utf-8")
+                )
                 return
-    except EOFError:  # parent went away
-        pass
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send_bytes(
+                bytes((ST_ERROR,)) + traceback.format_exc().encode("utf-8")
+            )
         except OSError:  # pragma: no cover - pipe already closed
             pass
     finally:
+        if attached is not None:
+            attached.close()
         conn.close()
 
 
@@ -953,6 +1280,11 @@ def main(argv: List[str]) -> int:
         "--backend", default="inline", choices=("inline", "process"),
         help="shard backend to exercise (default: inline)",
     )
+    parser.add_argument(
+        "--codec", action="store_true",
+        help="force the packed egress codec on the inline backend "
+        "(the process backend always uses it)",
+    )
     args = parser.parse_args(argv)
     counts = [int(c) for c in args.shards.split(",") if c.strip()]
 
@@ -980,13 +1312,17 @@ def main(argv: List[str]) -> int:
 
     failed = False
     for n in counts:
-        coord = WindowedCoordinator(ns, cfg, spec, n, backend=args.backend)
+        coord = WindowedCoordinator(
+            ns, cfg, spec, n, backend=args.backend, codec=args.codec
+        )
         run = coord.run(until)
         got = json.dumps(run_fingerprint(run), sort_keys=True)
         ok = got == ref
+        tag = f"{args.backend}, codec" if coord.codec else args.backend
         failed = failed or not ok
         print(
-            f"shards={n} ({args.backend}): windows={run.n_windows} "
+            f"shards={n} ({tag}): windows={run.n_windows} "
+            f"coalesced={run.data_plane.get('n_coalesced', 0)} "
             f"{'OK: bit-identical to serial' if ok else 'FAIL: diverged'}"
         )
         if not ok:
